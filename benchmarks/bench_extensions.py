@@ -1,0 +1,33 @@
+"""Extension ablations: early release (Sec. VIII) and the t frontier."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+
+def test_ext_early_release(benchmark, bench_config, bench_params, capsys):
+    res = run_once(benchmark, run_experiment, exp_id="ext_early_release",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    rows = {r["app"]: r for r in res.rows}
+    # ER must fire on the tail-heavy kernel and never regress materially.
+    assert rows["tailheavy"]["early_releases"] > 0
+    for row in res.rows:
+        assert row["impr_er_pct"] >= row["impr_shared_pct"] - 2.0
+
+
+def test_ext_threshold_frontier(benchmark, bench_config, bench_params,
+                                capsys):
+    res = run_once(benchmark, run_experiment,
+                   exp_id="ext_threshold_frontier",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    # Block counts are monotone non-increasing in t (Eq. 4).
+    for app in {r["app"] for r in res.rows}:
+        rows = [r for r in res.rows if r["app"] == app]
+        rows.sort(key=lambda r: r["t"])
+        blocks = [r["blocks"] for r in rows]
+        assert blocks == sorted(blocks, reverse=True)

@@ -1,0 +1,20 @@
+"""Fig. 1: resident thread blocks and resource underutilisation."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+
+def test_fig1_occupancy_and_waste(benchmark, bench_config, bench_params,
+                                  capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig1",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    rows = {r["app"]: r for r in res.rows}
+    # Paper Sec. I-A worked examples.
+    assert rows["hotspot"]["blocks"] == 3
+    assert abs(rows["hotspot"]["reg_waste_pct"] - 15.62) < 0.01
+    assert rows["lavaMD"]["blocks"] == 2
+    assert abs(rows["lavaMD"]["smem_waste_pct"] - 12.11) < 0.01

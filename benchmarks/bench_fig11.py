@@ -1,0 +1,39 @@
+"""Fig. 11: sharing vs doubling the physical resource (LRR baseline)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+
+def test_fig11a_vs_double_registers(benchmark, bench_config, bench_params,
+                                    capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig11a",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    # Paper: sharing at 32K registers beats the 64K LRR baseline on 5 of
+    # 8 applications; our winner set is smaller (see EXPERIMENTS.md) but
+    # the mixed verdict — sharing competitive with doubled hardware on
+    # several apps — must hold.
+    wins = sum(1 for r in res.rows if r["shared_wins"])
+    assert wins >= 1
+    # ...and sharing stays competitive (within 25%) on most apps even
+    # against doubled physical registers.
+    close = sum(1 for r in res.rows
+                if r["ipc_shared"] >= 0.75 * r["ipc_2x_regs"])
+    assert close >= 6
+
+
+def test_fig11b_vs_double_scratchpad(benchmark, bench_config, bench_params,
+                                     capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig11b",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    rows = {r["app"]: r for r in res.rows}
+    # Paper: lavaMD is comparable-or-better vs the doubled-scratchpad
+    # baseline, and several apps match the doubled baseline outright.
+    assert rows["lavaMD"]["ipc_shared"] >= 0.95 * rows["lavaMD"]["ipc_2x_smem"]
+    wins = sum(1 for r in res.rows if r["shared_wins"])
+    assert wins >= 2

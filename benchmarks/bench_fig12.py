@@ -1,0 +1,34 @@
+"""Fig. 12: Set-3 applications (sharing cannot add blocks)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+
+def test_fig12a_register_variants(benchmark, bench_config, bench_params,
+                                  capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig12a",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    for row in res.rows:
+        # Paper: Shared-LRR == Unshared-LRR and Shared-GTO == Unshared-GTO
+        # exactly (no extra blocks -> identical simulations).
+        assert row["Shared-LRR-Unroll-Dyn"] == row["Unshared-LRR"]
+        assert row["Shared-GTO-Unroll-Dyn"] == row["Unshared-GTO"]
+        # Shared-OWF tracks Unshared-GTO (within noise).
+        if row["Unshared-GTO"]:
+            ratio = row["Shared-OWF-Unroll-Dyn"] / row["Unshared-GTO"]
+            assert abs(ratio - 1.0) < 0.05
+
+
+def test_fig12b_scratchpad_variants(benchmark, bench_config, bench_params,
+                                    capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig12b",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    for row in res.rows:
+        assert row["Shared-LRR-NoOpt"] == row["Unshared-LRR"]
+        assert row["Shared-GTO"] == row["Unshared-GTO"]

@@ -1,0 +1,52 @@
+"""Fig. 9: optimisation ablations and the stall/idle cycle taxonomy."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+
+def test_fig9a_register_ablation(benchmark, bench_config, bench_params,
+                                 capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig9a",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    rows = {r["app"]: r for r in res.rows}
+    # hotspot improves even with no optimisation (paper: +13.65%)...
+    assert rows["hotspot"]["Shared-LRR-NoOpt"] > 5
+    # ...and the full stack keeps it strongly positive (paper: +21.76%).
+    assert rows["hotspot"]["Shared-OWF-Unroll-Dyn"] > 10
+
+
+def test_fig9b_scratchpad_ablation(benchmark, bench_config, bench_params,
+                                   capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig9b",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    rows = {r["app"]: r for r in res.rows}
+    # lavaMD gains ~30% even without OWF (paper: 28% -> 30%).
+    assert rows["lavaMD"]["Shared-LRR-NoOpt"] > 20
+
+
+def test_fig9c_register_cycles(benchmark, bench_config, bench_params,
+                               capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig9c",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    # Paper: idle cycles (warps waiting on latencies) drop for every
+    # app, up to 99%; we assert a strong majority.
+    drops = [r["idle_decrease_pct"] for r in res.rows]
+    assert sum(1 for d in drops if d > 0) >= len(drops) - 1
+
+
+def test_fig9d_scratchpad_cycles(benchmark, bench_config, bench_params,
+                                 capsys):
+    res = run_once(benchmark, run_experiment, exp_id="fig9d",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    drops = [r["idle_decrease_pct"] for r in res.rows]
+    assert sum(1 for d in drops if d > 0) >= len(drops) - 1

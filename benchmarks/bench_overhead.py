@@ -1,0 +1,20 @@
+"""Sec. V: hardware storage overhead of both sharing schemes."""
+
+from conftest import run_once
+
+from repro.config import GPUConfig
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+
+def test_hw_overhead(benchmark, capsys):
+    res = run_once(benchmark, run_experiment, exp_id="hw_overhead",
+                   config=GPUConfig())
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    vals = {r["quantity"]: r["value"] for r in res.rows}
+    # T=8 blocks, W=48 warps (Table I) on 14 SMs.
+    assert vals["register_sharing_bits_per_sm"] == 273
+    assert vals["register_sharing_bits_total"] == 273 * 14
+    assert vals["scratchpad_sharing_bits_per_sm"] == 93
+    assert vals["scratchpad_sharing_bits_total"] == 93 * 14

@@ -1,0 +1,41 @@
+"""Tables V & VI: IPC and resident blocks vs register-sharing fraction."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import render_experiment
+
+#: Paper Table VI, reproduced exactly by Eq. 4.
+PAPER_TABLE6 = {
+    "backprop": [5, 5, 5, 5, 6, 6],
+    "b+tree": [2, 2, 2, 3, 3, 3],
+    "hotspot": [3, 3, 3, 4, 4, 6],
+    "LIB": [4, 4, 5, 5, 6, 8],
+    "MUM": [4, 4, 4, 5, 5, 6],
+    "mri-q": [5, 5, 5, 5, 6, 6],
+    "sgemm": [5, 5, 5, 5, 6, 8],
+    "stencil": [2, 2, 2, 2, 2, 3],
+}
+
+PCTS = ["0%", "10%", "30%", "50%", "70%", "90%"]
+
+
+def test_table6_resident_blocks(benchmark, bench_config, bench_params,
+                                capsys):
+    res = run_once(benchmark, run_experiment, exp_id="table6",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    for row in res.rows:
+        assert [row[p] for p in PCTS] == PAPER_TABLE6[row["app"]], row["app"]
+
+
+def test_table5_ipc_sweep(benchmark, bench_config, bench_params, capsys):
+    res = run_once(benchmark, run_experiment, exp_id="table5",
+                   config=bench_config, **bench_params)
+    with capsys.disabled():
+        print("\n" + render_experiment(res))
+    # Paper: 0% and 10% sharing behave identically (no extra blocks ->
+    # everything launches unshared).
+    for row in res.rows:
+        assert row["0%"] == row["10%"], row["app"]

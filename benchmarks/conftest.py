@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper table/figure.  The
+simulations are deterministic, so every benchmark runs a single
+measured round (``pedantic``) — pytest-benchmark is used for its
+reporting/JSON machinery, not for statistical repetition.
+
+Scale knobs (override via environment):
+
+* ``REPRO_BENCH_CLUSTERS`` — SM clusters (default 4; paper used 14)
+* ``REPRO_BENCH_SCALE``    — kernel loop-count scale (default 0.7)
+* ``REPRO_BENCH_WAVES``    — grid waves per SM (default 6)
+"""
+
+import os
+
+import pytest
+
+from repro.config import GPUConfig
+
+CLUSTERS = int(os.environ.get("REPRO_BENCH_CLUSTERS", "4"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.7"))
+WAVES = float(os.environ.get("REPRO_BENCH_WAVES", "6"))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Machine configuration for all benchmark runs."""
+    return GPUConfig().scaled(num_clusters=CLUSTERS)
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    """(scale, waves) for all benchmark runs."""
+    return {"scale": SCALE, "waves": WAVES}
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    result (simulations are deterministic; re-running only wastes time)."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Batch sweeps with CSV export (the tool behind the paper harness).
+
+Builds a grid of (app × mode) runs, executes it, prints the winners and
+writes a flat CSV ready for pandas/gnuplot.
+
+Run:  python examples/batch_sweep.py [out.csv]
+"""
+
+import sys
+
+from repro import GPUConfig, SharedResource, Sweep, shared, unshared
+
+cfg = GPUConfig().scaled(num_clusters=4)
+
+sweep = Sweep(config=cfg, scale=0.7, waves=6)
+sweep.add_apps(["hotspot", "MUM", "LIB", "lavaMD", "CONV1"])
+sweep.add_modes([
+    unshared("lrr"),
+    unshared("gto"),
+    shared(SharedResource.REGISTERS, "owf", unroll=True, dyn=True),
+    shared(SharedResource.SCRATCHPAD, "owf"),
+])
+
+print(f"running {sweep.size} simulations...")
+sweep.run(progress=True)
+
+print("\nbest mode per app:")
+for app, mode in sweep.best_mode_per_app().items():
+    print(f"  {app:8s} -> {mode}")
+
+csv_text = sweep.to_csv()
+if len(sys.argv) > 1:
+    with open(sys.argv[1], "w") as f:
+        f.write(csv_text)
+    print(f"\nwrote {sys.argv[1]} ({len(csv_text.splitlines()) - 1} rows)")
+else:
+    print("\nCSV preview (pass a filename to save):")
+    for line in csv_text.splitlines()[:4]:
+        print(" ", line[:100])

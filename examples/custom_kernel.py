@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Author a custom kernel with the builder DSL and explore sharing.
+
+Shows the full public workflow for a kernel that is not part of the
+paper's suites: declare a resource signature, write the instruction
+body, inspect occupancy/waste, pick a sharing threshold, and simulate.
+
+The kernel below is a toy molecular-dynamics force loop: it loads
+neighbour positions, accumulates forces through FFMA chains, and spills
+partial results to scratchpad.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import (GPUConfig, KernelBuilder, Pattern, SharedResource,
+                   occupancy, plan_sharing, run, shared, unshared)
+from repro.core.sharing import SharingSpec
+
+cfg = GPUConfig().scaled(num_clusters=4)
+
+# --- author the kernel ---------------------------------------------------
+b = KernelBuilder(
+    "forces",
+    block_size=192,       # 6 warps per block
+    regs=40,              # heavy register pressure -> register-limited
+    smem=3072,            # per-block accumulation tile
+    seed=2024,
+    variance=0.3,         # neighbour-list lengths vary per warp
+)
+b.ldg(region="positions", footprint=128 * 1024, block_private=False)
+b.sts(offset=0, stride=128, wrap=3072)
+b.bar()
+with b.loop(40):
+    b.ldg(region="neighbors", footprint=96 * 1024, block_private=False,
+          pattern=Pattern.STRIDED, txn=2)
+    b.alu_chain(4)          # force accumulation (dependent FFMAs)
+    b.alu_indep(3)          # independent lane math
+    b.lds(offset=0, stride=96, wrap=3072)
+b.bar()
+b.stg(region="forces_out", footprint=128 * 1024)
+kernel = b.build()
+
+# --- static analysis ------------------------------------------------------
+occ = occupancy(kernel, cfg)
+print(f"forces: {kernel.regs_per_block} regs/block, "
+      f"{kernel.smem_per_block} B scratchpad/block")
+print(f"baseline: {occ.blocks} blocks/SM, limiter={occ.limiter}, "
+      f"register waste {occ.register_waste_pct:.1f}%")
+
+for t in (0.5, 0.3, 0.1):
+    plan = plan_sharing(kernel, cfg, SharingSpec(SharedResource.REGISTERS, t))
+    print(f"  t={t:3.1f} ({plan.spec.sharing_pct:4.0f}% shared): "
+          f"{plan.total} blocks/SM ({plan.unshared} unshared "
+          f"+ {plan.pairs} pairs)")
+
+# --- simulate -------------------------------------------------------------
+print()
+base = run(kernel, unshared("lrr"), config=cfg)
+best = run(kernel, shared(SharedResource.REGISTERS, "owf",
+                          unroll=True, dyn=True), config=cfg)
+print(f"{base.mode:28s} IPC {base.ipc:7.2f}")
+print(f"{best.mode:28s} IPC {best.ipc:7.2f}  "
+      f"({(best.ipc / base.ipc - 1) * 100:+.2f}%)")
+print(f"stall cycles: {base.stall_cycles} -> {best.stall_cycles}; "
+      f"idle cycles: {base.idle_cycles} -> {best.idle_cycles}")

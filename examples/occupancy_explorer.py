@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Occupancy and resource-waste explorer (paper Fig. 1, Sec. I-A).
+
+Pure static analysis — no simulation.  For every app in the paper's
+benchmark sets it prints the baseline occupancy, the binding constraint,
+the wasted resource fraction, and how many blocks each sharing threshold
+recovers (Eq. 4).
+
+Run:  python examples/occupancy_explorer.py
+"""
+
+from repro import (APPS, GPUConfig, SET1, SET2, SET3, SharedResource,
+                   occupancy, plan_sharing)
+from repro.core.sharing import SharingSpec
+
+cfg = GPUConfig()  # full Table I machine
+
+print("=== Set-1: register-limited (paper Fig. 1a/1b, Table VI) ===")
+print(f"{'app':9s} {'blk':>4s} {'waste%':>7s} | blocks at sharing% "
+      f"{'10':>3s} {'30':>3s} {'50':>3s} {'70':>3s} {'90':>3s}")
+for name in SET1:
+    k = APPS[name].kernel()
+    occ = occupancy(k, cfg)
+    cols = []
+    for pct in (10, 30, 50, 70, 90):
+        plan = plan_sharing(k, cfg, SharingSpec(
+            SharedResource.REGISTERS, 1.0 - pct / 100.0))
+        cols.append(f"{plan.total:3d}")
+    print(f"{name:9s} {occ.blocks:4d} {occ.register_waste_pct:6.1f}% | "
+          f"{'':19s} {' '.join(cols)}")
+
+print("\n=== Set-2: scratchpad-limited (paper Fig. 1c/1d, Table VIII) ===")
+print(f"{'app':9s} {'blk':>4s} {'waste%':>7s} | blocks at sharing% "
+      f"{'10':>3s} {'30':>3s} {'50':>3s} {'70':>3s} {'90':>3s}")
+for name in SET2:
+    k = APPS[name].kernel()
+    occ = occupancy(k, cfg)
+    cols = []
+    for pct in (10, 30, 50, 70, 90):
+        plan = plan_sharing(k, cfg, SharingSpec(
+            SharedResource.SCRATCHPAD, 1.0 - pct / 100.0))
+        cols.append(f"{plan.total:3d}")
+    print(f"{name:9s} {occ.blocks:4d} {occ.scratchpad_waste_pct:6.1f}% | "
+          f"{'':19s} {' '.join(cols)}")
+
+print("\n=== Set-3: limited by threads/blocks (paper Table IV) ===")
+for name in SET3:
+    k = APPS[name].kernel()
+    occ = occupancy(k, cfg)
+    plan = plan_sharing(k, cfg, SharingSpec(SharedResource.REGISTERS, 0.1))
+    print(f"{name:12s} {occ.blocks} blocks/SM, limiter={occ.limiter:8s} "
+          f"-> sharing adds {plan.extra} blocks (expected 0)")
+
+print("\nWorked example (paper Sec. I-A): hotspot needs 36 regs x 256 "
+      "threads = 9216 regs/block;\n32768 // 9216 = 3 blocks, wasting "
+      "32768 - 27648 = 5120 registers (15.6%).")

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run one kernel with and without register sharing.
+
+Reproduces the paper's headline effect on its flagship application
+(hotspot): resource sharing launches 6 thread blocks per SM instead of 3
+and improves IPC by hiding long latencies with the extra warps.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (APPS, GPUConfig, SharedResource, occupancy, plan_sharing,
+                   run, shared, unshared)
+from repro.core.sharing import SharingSpec
+
+# A 4-cluster machine: per-SM resources are identical to the paper's
+# Table I configuration, so occupancy and sharing decisions are exact.
+cfg = GPUConfig().scaled(num_clusters=4)
+
+app = APPS["hotspot"]
+kernel = app.kernel()
+
+# --- static analysis: why does hotspot waste registers? ----------------
+occ = occupancy(kernel, cfg)
+print(f"hotspot: {kernel.threads_per_block} threads/block x "
+      f"{kernel.regs_per_thread} regs = {kernel.regs_per_block} regs/block")
+print(f"baseline occupancy: {occ.blocks} blocks/SM (limited by "
+      f"{occ.limiter}), {occ.register_waste_pct:.1f}% of the register "
+      f"file wasted")
+
+plan = plan_sharing(kernel, cfg, SharingSpec(SharedResource.REGISTERS, 0.1))
+print(f"with 90% register sharing: {plan.total} blocks/SM "
+      f"({plan.unshared} unshared + {plan.pairs} pairs)\n")
+
+# --- simulate both configurations ---------------------------------------
+base = run(app, unshared("lrr"), config=cfg)
+best = run(app, shared(SharedResource.REGISTERS, "owf",
+                       unroll=True, dyn=True), config=cfg)
+
+print(f"{'mode':28s} {'IPC':>8s} {'cycles':>9s} {'stalls':>9s} "
+      f"{'blocks':>7s}")
+for r in (base, best):
+    print(f"{r.mode:28s} {r.ipc:8.2f} {r.cycles:9d} {r.stall_cycles:9d} "
+          f"{r.max_resident_blocks:7d}")
+
+gain = (best.ipc / base.ipc - 1) * 100
+print(f"\nIPC improvement: {gain:+.1f}%  (paper reports +21.76% for "
+      f"hotspot, Fig. 8c)")

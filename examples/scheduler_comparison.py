@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Warp-scheduler shoot-out: LRR vs GTO vs two-level vs OWF.
+
+The paper evaluates its sharing mechanisms against three baseline
+schedulers (Figs. 8, 10, 12).  This example runs one app from each
+benchmark set under all four schedulers, with and without sharing, and
+demonstrates the paper's Set-3 identity: when sharing cannot launch
+extra blocks, Shared-OWF behaves like Unshared-GTO.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from repro import APPS, GPUConfig, SharedResource, run, shared, unshared
+
+cfg = GPUConfig().scaled(num_clusters=4)
+REG = SharedResource.REGISTERS
+SPAD = SharedResource.SCRATCHPAD
+
+CASES = [
+    ("hotspot", REG, "Set-1 (register-limited)"),
+    ("lavaMD", SPAD, "Set-2 (scratchpad-limited)"),
+    ("gaussian", REG, "Set-3 (block-limited: sharing is a no-op)"),
+]
+
+for name, resource, label in CASES:
+    app = APPS[name]
+    print(f"--- {name} — {label} ---")
+    rows = []
+    for sched in ("lrr", "gto", "two_level"):
+        rows.append(run(app, unshared(sched), config=cfg))
+    rows.append(run(app, shared(resource, "owf",
+                                unroll=(resource is REG),
+                                dyn=(resource is REG)), config=cfg))
+    base = rows[0].ipc
+    for r in rows:
+        print(f"  {r.mode:26s} IPC {r.ipc:7.2f}  "
+              f"({(r.ipc / base - 1) * 100:+6.2f}% vs LRR)  "
+              f"blocks/SM {r.max_resident_blocks}")
+    print()
+
+print("Note how for the Set-3 app the sharing run launches no extra "
+      "blocks and its\nIPC lands on the Unshared-GTO value — the paper's "
+      "Fig. 12 observation.")

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Scratchpad-sharing deep dive (paper Sec. III-B, Fig. 8d/9b).
+
+Runs the Set-2 suite under scratchpad sharing, showing per-app resident
+blocks, IPC gains, and the lock behaviour that explains them — including
+lavaMD's special case where *no* access ever lands in the shared region,
+so both blocks of every pair run unhindered (the paper's +30% headline).
+
+Run:  python examples/scratchpad_sharing_study.py
+"""
+
+from repro import (APPS, GPUConfig, SET2, SharedResource, improvement,
+                   plan_sharing, run, shared, unshared)
+from repro.core.sharing import SharingSpec
+
+SPAD = SharedResource.SCRATCHPAD
+cfg = GPUConfig().scaled(num_clusters=4)
+
+print(f"{'app':8s} {'blocks':>12s} {'IPC base':>9s} {'IPC shared':>10s} "
+      f"{'gain':>8s} {'locks':>7s} {'waits':>7s}  note")
+for name in SET2:
+    app = APPS[name]
+    kernel = app.kernel()
+    plan = plan_sharing(kernel, cfg, SharingSpec(SPAD, 0.1))
+    base = run(app, unshared("lrr"), config=cfg)
+    best = run(app, shared(SPAD, "owf"), config=cfg)
+    locks = sum(s.lock_acquires for s in best.sm_stats)
+    waits = sum(s.lock_waits for s in best.sm_stats)
+    note = ""
+    if locks == 0:
+        note = "never touches the shared region (paper's lavaMD case)"
+    print(f"{name:8s} {plan.baseline:5d} -> {plan.total:3d} "
+          f"{base.ipc:9.2f} {best.ipc:10.2f} "
+          f"{improvement(base, best):+7.2f}% {locks:7d} {waits:7d}  {note}")
+
+print("""
+Reading the table:
+* blocks — resident thread blocks per SM, baseline vs t=0.1 sharing
+  (matches the paper's Fig. 8b / Table VIII exactly).
+* locks/waits — shared-region acquisitions and busy-wait episodes; a
+  non-owner block stalls at its first shared-offset access until the
+  owner block completes (Fig. 4).
+* lavaMD declares 7200 B but touches only a 640 B prefix, so every
+  access stays inside the private partition: the extra blocks are pure
+  thread-level parallelism.
+""")

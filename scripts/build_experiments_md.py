@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from a ``python -m repro.harness all`` log.
+
+Usage::
+
+    python -m repro.harness all --clusters 6 --scale 0.7 --waves 6 \
+        > results.txt
+    python scripts/build_experiments_md.py results.txt > EXPERIMENTS.md
+
+The script pairs each captured experiment table with the paper's
+reported values and a short interpretation, producing the
+paper-vs-measured record the repository commits.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+HEADER = """# EXPERIMENTS — paper vs. this reproduction
+
+Every table and figure of the paper's evaluation (Sec. VI) regenerated
+with `python -m repro.harness <id>`.  Measured numbers below come from
+**{settings}** — per-SM resources identical to the paper's Table I
+machine, fewer SMs and shorter kernels for laptop-scale runtime (the
+sharing/occupancy decisions are scale-invariant; IPC magnitudes are not
+comparable to GPGPU-Sim's, relative effects are the target).  Sections
+annotated *(regenerated in 0s ...)* were captured from the benchmark
+harness run (`pytest benchmarks/ --benchmark-only`, 4 clusters,
+scale 0.6, 6 waves) rather than the harness-CLI run.
+
+Reproduction contract:
+
+* **Exact** — occupancy, waste, Eq. 4 block counts (Tables VI/VIII,
+  Figs. 1/8a/8b) and the Sec. V overhead bits match the paper entry for
+  entry; these are pinned by golden-file tests.
+* **Shape** — IPC deltas (who wins, sign, rough magnitude, which
+  optimisation matters for which app class) are reproduced; absolute
+  percentages differ because the substrate is a simplified simulator on
+  synthetic kernels (see DESIGN.md §2 and docs/workloads.md).
+
+"""
+
+#: Per-experiment commentary: paper values + how to read our numbers.
+NOTES: dict[str, str] = {
+    "fig1": """**Paper:** hotspot wastes 5120/32768 registers (15.6 %),
+lavaMD leaves 1984 B of scratchpad idle (12.1 %); Set-1 apps are
+register-limited, Set-2 scratchpad-limited.
+**Match:** exact — all block counts and waste percentages equal the
+paper's worked examples (golden-pinned).""",
+    "fig8a": """**Paper:** register sharing lifts residency to 6 blocks for
+backprop/hotspot/MUM/mri-q (thread cap), 8 for LIB/sgemm (block cap), 3
+for b+tree/stencil.
+**Match:** exact for every app (Eq. 4).""",
+    "fig8b": """**Paper:** CONV1/NW1/NW2 reach the 8-block cap; lavaMD
+doubles 2→4.
+**Match:** exact for every app.""",
+    "fig8c": """**Paper:** +5.82 backprop, +11.98 b+tree, +21.76 hotspot,
++0.84 LIB, +24.14 MUM, −0.72 mri-q, +4.06 sgemm, +23.45 stencil
+(avg ≈ 11 %).
+**Ours:** same ranking structure — hotspot/stencil lead, LIB ≈ 0,
+mri-q ≈ 0, backprop small.  MUM's Dyn-driven recovery is weaker here
+because Dyn's SM0 sacrifice costs proportionally more on a small machine
+(1/6 of SMs vs 1/14 in the paper).""",
+    "fig8d": """**Paper (Fig. 8d):** +4.33 CONV1, +15.85 CONV2, +29.96
+lavaMD, +5.62 NW1, +9.03 NW2, ~+11 SRAD1, +25.73 SRAD2 (avg 12.5 %).
+Note the paper's own Table VII implies smaller numbers for CONV1 (+4.2 %)
+and SRAD2 (+7.6 %) — the prose and figures disagree; we track the table.
+**Ours:** lavaMD is the clear winner (all its scratchpad accesses stay in
+the private partition — `lock_acquires == 0`), everything else positive.""",
+    "fig9a": """**Paper (hotspot):** +13.65 NoOpt → +15.18 Unroll → +14.58
+Unroll-Dyn → +21.76 OWF-Unroll-Dyn; MUM: −0.15 → +0.08 → +6.45 → +24.14.
+**Ours:** hotspot reproduces the staircase including the small Dyn dip
+(+11→+24→+19→+22 at 4 clusters).  Dyn helps less / hurts more than the
+paper at few SMs — disabling all non-owner memory on SM0 throttles a
+large machine fraction (documented scale effect).""",
+    "fig9b": """**Paper:** lavaMD +28 % without any optimisation (its
+extra blocks never wait) rising to +30 with OWF; CONV1/SRAD2 slightly
+prefer NoOpt.
+**Ours:** same structure — lavaMD's gain is nearly all from sharing
+itself; OWF adds little for it and more for CONV/SRAD.""",
+    "fig9c": """**Paper:** idle cycles drop for every app (up to 99 %);
+stalls drop for most, rise for b+tree/stencil/mri-q.
+**Ours:** terminology mapping (see the experiment note): the paper's
+*idle* = warps waiting on in-flight latencies = our stall bucket, which
+drops for 7–8 of 8 apps (up to ~66 %); the paper's *stall* = structural
+pipeline stalls = our MSHR rejections, which move app-dependently, same
+signs for the flagships.""",
+    "fig9d": """**Paper:** stall+idle reductions for Set-2; lavaMD is
+excluded from the stall plot (zero baseline stalls).
+**Ours:** same direction under the fig9c column mapping; latency-wait
+reductions dominate.""",
+    "fig10a": """**Paper:** scratchpad sharing beats GTO by up to 30 %
+(lavaMD).
+**Ours:** lavaMD ≈ +34 %, others +1…6 % — matching the paper's 'big
+winner plus modest rest' shape.""",
+    "fig10b": """**Paper:** register sharing vs GTO improves up to 3.9 %.
+**Ours:** small gains for most apps; LIB is distinctly negative (its L2
+working set is thrashed by the extra blocks, and GTO is already strong) —
+more negative than the paper shows.""",
+    "fig10c": """**Paper:** up to +27.2 % over two-level.
+**Ours:** hotspot ≈ +21 %, sgemm/MUM/stencil positive — same leaders.""",
+    "fig10d": """**Paper:** up to +27.08 % over two-level.
+**Ours:** lavaMD ≈ +39 %, CONV2 ≈ +19 % — same shape.""",
+    "fig11a": """**Paper:** sharing at 32 K registers beats a 64 K-register
+LRR baseline on 5 of 8 apps (sgemm/b+tree/LIB favour the baseline).
+**Ours:** mixed verdict as in the paper (sharing wins on LIB/mri-q/sgemm,
+loses where doubling registers unlocks more blocks without lock
+overhead); the exact winner set differs.""",
+    "fig11b": """**Paper:** CONV1/NW1/NW2 comparable to the 32 K baseline,
+lavaMD better, CONV2/SRAD1/SRAD2 worse.
+**Ours:** same split — lavaMD/CONV1/NW1/SRAD1 at-or-above the doubled
+baseline, CONV2/NW2/SRAD2 slightly below.""",
+    "fig12a": """**Paper:** Set-3 apps launch no extra blocks:
+Shared-LRR == Unshared-LRR, Shared-GTO == Unshared-GTO, Shared-OWF ≈
+Unshared-GTO.
+**Ours:** the equalities hold *exactly* (identical simulations, asserted
+by tests); Shared-OWF equals Unshared-GTO.""",
+    "fig12b": """Same identities for the scratchpad variants — exact.""",
+    "table5": """**Paper:** IPC flat from 0–30 % sharing for most apps
+(no extra blocks yet), rising by 70–90 %; hotspot 489.5→503.6, LIB
+218.0→223.3.
+**Ours:** 0 % == 10 % for every app (no extra blocks → all unshared,
+asserted), gains appear exactly where Table VI adds blocks.""",
+    "table6": """**Match:** exact, all 48 entries (golden-pinned).""",
+    "table7": """**Paper:** lavaMD flat until 90 % then 452→579 (+28 %);
+SRAD1 peaks at 50 % (229.4); NW1/NW2 drift slightly down with sharing.
+**Ours:** lavaMD's 90 %-only jump reproduces; SRAD-family also prefers
+mid thresholds (longer private prefix vs fewer blocks trade-off).""",
+    "table8": """**Match:** exact, all 42 entries (golden-pinned).""",
+    "hw_overhead": """**Paper formulas evaluated on Table I (T=8, W=48,
+N=14):** 273 bits/SM for register sharing, 93 bits/SM for scratchpad
+sharing — negligible vs a 128 KB register file.  Exact.""",
+    "ext_early_release": """**Extension (paper Sec. VIII future work):**
+live-range analysis hands the shared pool to the partner warp as soon as
+the holder provably stops using shared registers.  Neutral on
+loop-dominated kernels (pool live until the last iteration), a further
+gain on kernels with register-light tails.""",
+    "ext_threshold_frontier": """**Ablation:** the full t-frontier behind
+Tables V–VIII; IPC follows the Eq. 4 block-count staircase, not t
+itself.""",
+    "ext_cache_sensitivity": """**Ablation:** the cache-contention
+explanation for mri-q/LIB.  mri-q: at 8 KB both configurations thrash
+and sharing gains little; at ≥16 KB the baseline fits and the shared
+run's extra misses cap the gain.  LIB: larger L1s help the 4-block
+baseline far more than the 8-block shared run (whose aggregate working
+set still overflows), so the sharing penalty *deepens* with L1 size —
+extra blocks trade cache locality for TLP exactly as the paper argues.""",
+    "ext_variance_sensitivity": """**Ablation:** gains grow with per-warp
+work imbalance — the drain-phase waste that block-granularity allocation
+creates and warp-level handoff reclaims (the work_variance modelling
+decision of DESIGN.md §4).""",
+}
+
+SECTION_RE = re.compile(
+    r"== (?P<title>.*?) ==\n(?P<body>.*?)\n\[(?P<id>[a-z0-9_]+): "
+    r"(?P<secs>[0-9.]+)s\]", re.S)
+
+
+def build(log_text: str, settings: str) -> str:
+    out = [HEADER.format(settings=settings)]
+    sections = {m.group("id"): m for m in SECTION_RE.finditer(log_text)}
+    order = [k for k in NOTES if k in sections] + \
+        [k for k in sections if k not in NOTES]
+    for exp_id in order:
+        m = sections[exp_id]
+        out.append(f"## {exp_id} — {m.group('title')}\n")
+        note = NOTES.get(exp_id)
+        if note:
+            out.append(note + "\n")
+        out.append("```")
+        out.append(m.group("body").strip())
+        out.append("```")
+        out.append(f"*(regenerated in {float(m.group('secs')):.0f}s by "
+                   f"`python -m repro.harness {exp_id}`)*\n")
+    missing = [k for k in NOTES if k not in sections]
+    if missing:
+        out.append(f"\n<!-- not present in this log: {missing} -->\n")
+    return "\n".join(out)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    log = Path(sys.argv[1]).read_text()
+    settings = sys.argv[2] if len(sys.argv) > 2 else \
+        "6 SM clusters, scale 0.7, 6 grid waves"
+    sys.stdout.write(build(log, settings))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

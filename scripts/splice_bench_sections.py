@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Splice experiment sections out of a benchmark log.
+
+``pytest benchmarks/ --benchmark-only`` prints the same
+``render_experiment`` tables the harness CLI does, but without the
+``[id: Ns]`` trailers ``build_experiments_md.py`` keys on.  This adapter
+extracts the ``== title ==`` sections from a bench log, maps titles back
+to experiment ids, and emits them in harness-log format so the two
+sources can be concatenated::
+
+    python scripts/splice_bench_sections.py bench_output.txt \
+        fig8a fig8b fig8c fig8d >> results.txt
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: First words of each experiment's title → id.
+TITLE_TO_ID = {
+    "Fig 1:": "fig1",
+    "Fig 8(a)": "fig8a",
+    "Fig 8(b)": "fig8b",
+    "Fig 8(c)": "fig8c",
+    "Fig 8(d)": "fig8d",
+    "Fig 9(a)": "fig9a",
+    "Fig 9(b)": "fig9b",
+    "Fig 9(c)": "fig9c",
+    "Fig 9(d)": "fig9d",
+    "Fig 10(a)": "fig10a",
+    "Fig 10(b)": "fig10b",
+    "Fig 10(c)": "fig10c",
+    "Fig 10(d)": "fig10d",
+    "Fig 11(a)": "fig11a",
+    "Fig 11(b)": "fig11b",
+    "Fig 12(a)": "fig12a",
+    "Fig 12(b)": "fig12b",
+    "Table V:": "table5",
+    "Table VI:": "table6",
+    "Table VII:": "table7",
+    "Table VIII:": "table8",
+    "Sec. V:": "hw_overhead",
+    "Extension (Sec. VIII)": "ext_early_release",
+    "Ablation: fine-grained": "ext_threshold_frontier",
+}
+
+SECTION_RE = re.compile(r"== (?P<title>.*?) ==\n(?P<body>.*?)(?=\n==|\n\.|\Z)",
+                        re.S)
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    text = Path(sys.argv[1]).read_text()
+    wanted = set(sys.argv[2:])
+    emitted = set()
+    for m in SECTION_RE.finditer(text):
+        title = m.group("title")
+        exp_id = next((v for k, v in TITLE_TO_ID.items()
+                       if title.startswith(k)), None)
+        if exp_id is None or exp_id not in wanted or exp_id in emitted:
+            continue
+        emitted.add(exp_id)
+        body = m.group("body").strip()
+        sys.stdout.write(f"== {title} ==\n{body}\n[{exp_id}: 0.0s]\n\n")
+    missing = wanted - emitted
+    if missing:
+        print(f"(not found in log: {sorted(missing)})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Top-level CLI.
+
+Subcommands::
+
+    python -m repro analyze <app|file.kasm>       static kernel profile
+    python -m repro run <app> [--mode ...]        simulate one app
+    python -m repro disasm <app>                  dump assembly listing
+    python -m repro list                          registered apps & modes
+
+(Per-figure experiment reproduction lives in ``python -m repro.harness``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze, format_analysis
+from repro.config import GPUConfig
+from repro.core.sharing import SharedResource
+from repro.harness.runner import run, shared, unshared
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.kernel import Kernel
+from repro.workloads.apps import APPS
+
+_MODES = {
+    "lrr": lambda: unshared("lrr"),
+    "gto": lambda: unshared("gto"),
+    "two_level": lambda: unshared("two_level"),
+    "shared-reg": lambda: shared(SharedResource.REGISTERS, "owf",
+                                 unroll=True, dyn=True),
+    "shared-reg-noopt": lambda: shared(SharedResource.REGISTERS, "lrr"),
+    "shared-spad": lambda: shared(SharedResource.SCRATCHPAD, "owf"),
+}
+
+
+def _load_kernel(spec: str) -> Kernel:
+    """An app name from the registry, or a path to a .kasm file."""
+    if spec in APPS:
+        return APPS[spec].kernel()
+    path = Path(spec)
+    if path.is_file():
+        return assemble(path.read_text())
+    raise SystemExit(f"unknown app or missing file: {spec!r} "
+                     f"(apps: {', '.join(sorted(APPS))})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(prog="python -m repro")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    pa = sub.add_parser("analyze", help="static kernel profile")
+    pa.add_argument("kernel")
+    pa.add_argument("-t", type=float, default=0.1,
+                    help="sharing threshold (default 0.1)")
+
+    pr = sub.add_parser("run", help="simulate one app/kernel")
+    pr.add_argument("kernel")
+    pr.add_argument("--mode", choices=sorted(_MODES), default="lrr")
+    pr.add_argument("--clusters", type=int, default=4)
+    pr.add_argument("--scale", type=float, default=1.0)
+    pr.add_argument("--waves", type=float, default=6.0)
+
+    pd = sub.add_parser("disasm", help="dump assembly listing")
+    pd.add_argument("kernel")
+
+    pt = sub.add_parser("trace", help="print an issue timeline")
+    pt.add_argument("kernel")
+    pt.add_argument("--mode", choices=sorted(_MODES), default="lrr")
+    pt.add_argument("--first", type=int, default=40,
+                    help="issues to show (default 40)")
+    pt.add_argument("--sm", type=int, default=0)
+
+    sub.add_parser("list", help="registered apps and run modes")
+
+    args = p.parse_args(argv)
+
+    if args.cmd == "list":
+        print("apps: ", ", ".join(sorted(APPS)))
+        print("modes:", ", ".join(sorted(_MODES)))
+        return 0
+
+    if args.cmd == "analyze":
+        print(format_analysis(analyze(_load_kernel(args.kernel),
+                                      t=args.t)))
+        return 0
+
+    if args.cmd == "disasm":
+        print(disassemble(_load_kernel(args.kernel)), end="")
+        return 0
+
+    if args.cmd == "trace":
+        from repro.core.occupancy import occupancy as _occ
+        from repro.core.sharing import SharingSpec, plan_sharing
+        from repro.core.unroll import reorder_registers
+        from repro.sim.gpu import GPU
+        from repro.sim.trace import TraceRecorder
+        kernel = _load_kernel(args.kernel)
+        cfg = GPUConfig().scaled(num_clusters=1)
+        mode = _MODES[args.mode]()
+        if mode.unroll:
+            kernel = reorder_registers(kernel)
+        grid = max(2, 2 * _occ(kernel, cfg).blocks)
+        kernel = kernel.with_grid(grid)
+        plan = None
+        if mode.sharing is not None:
+            plan = plan_sharing(kernel, cfg,
+                                SharingSpec(mode.sharing, mode.t))
+        gpu = GPU(kernel, cfg, scheduler=mode.scheduler, plan=plan,
+                  dyn=mode.dyn, mode=mode.label)
+        tr = TraceRecorder(gpu, max_events=200_000)
+        res = tr.run()
+        print(tr.timeline(sm=args.sm, first=args.first))
+        print(f"... {res.instructions} instructions in {res.cycles} "
+              f"cycles (IPC {res.ipc:.2f})")
+        return 0
+
+    # run — registry apps honour --scale; .kasm files run as written
+    target = APPS.get(args.kernel) or _load_kernel(args.kernel)
+    cfg = GPUConfig().scaled(num_clusters=args.clusters)
+    mode = _MODES[args.mode]()
+    res = run(target, mode, config=cfg, scale=args.scale, waves=args.waves)
+    s = res.summary()
+    print(f"{res.kernel} [{res.mode}] on {args.clusters} clusters:")
+    for key in ("ipc", "cycles", "instructions", "stall_cycles",
+                "idle_cycles", "max_resident_blocks", "l1_miss_rate",
+                "l2_miss_rate", "dram_requests"):
+        v = s[key]
+        print(f"  {key:20s} {v:.4g}" if isinstance(v, float)
+              else f"  {key:20s} {v}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

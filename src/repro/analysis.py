@@ -1,0 +1,151 @@
+"""Static kernel analysis: everything about a kernel *before* simulating.
+
+Bundles the per-kernel facts the paper reasons about — occupancy and
+waste (Fig. 1), sharing plans at a threshold (Eq. 4), instruction mix and
+memory intensity (compute- vs memory-bound discussions), non-owner
+progress before the first shared access (Sec. IV-B), and the live-range
+tail where a shared pool could be released early (Sec. VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GPUConfig
+from repro.core.liverange import SharedLiveness
+from repro.core.occupancy import Occupancy, occupancy
+from repro.core.sharing import (SharedResource, SharingPlan, SharingSpec,
+                                plan_sharing)
+from repro.core.unroll import first_shared_use_distance, reorder_registers
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import op_group
+
+__all__ = ["KernelAnalysis", "analyze", "format_analysis"]
+
+
+@dataclass(frozen=True)
+class KernelAnalysis:
+    """Static profile of one kernel on one machine configuration."""
+
+    name: str
+    threads_per_block: int
+    warps_per_block: int
+    regs_per_thread: int
+    regs_per_block: int
+    smem_per_block: int
+    dynamic_per_warp: int
+    #: op group → dynamic count per warp (alu/sfu/global/shared/bar/exit).
+    mix: dict = field(default_factory=dict)
+    #: Fraction of dynamic instructions that are memory operations.
+    mem_fraction: float = 0.0
+    #: Distinct registers actually referenced.
+    registers_referenced: int = 0
+    occupancy: Occupancy | None = None
+    register_plan: SharingPlan | None = None
+    scratchpad_plan: SharingPlan | None = None
+    #: Dynamic instructions a non-owner warp executes before its first
+    #: shared-register access, before/after the unroll pass.
+    prefix_before_unroll: int = 0
+    prefix_after_unroll: int = 0
+    #: Dynamic instructions at the end of the trace that touch no shared
+    #: register (the early-release window, Sec. VIII).
+    shared_free_tail: int = 0
+
+
+def _shared_free_tail(kernel: Kernel, private_regs: int) -> int:
+    """Trailing dynamic instructions touching only private registers."""
+    lv = SharedLiveness(kernel)
+    repeats = tuple(seg.repeat for seg in kernel.segments)
+    tail = 0
+    # Walk the nominal trace backwards by walking forwards and counting
+    # from the first position whose future is shared-free.
+    seg = rep = pc = 0
+    pos = 0
+    first_free: int | None = None
+    total = kernel.dynamic_count
+    while seg < len(kernel.segments):
+        if first_free is None and lv.done_with_shared(seg, rep, pc, repeats,
+                                                      private_regs):
+            first_free = pos
+        pc += 1
+        if pc == len(kernel.segments[seg].instrs):
+            pc = 0
+            rep += 1
+            if rep == repeats[seg]:
+                rep = 0
+                seg += 1
+        pos += 1
+    if first_free is not None:
+        tail = total - first_free
+    return tail
+
+
+def analyze(kernel: Kernel, config: GPUConfig | None = None,
+            t: float = 0.1) -> KernelAnalysis:
+    """Produce the full static profile of ``kernel`` at threshold ``t``."""
+    cfg = config if config is not None else GPUConfig()
+    mix: dict[str, int] = {}
+    for ins in kernel.iter_trace():
+        g = op_group(ins.op)
+        mix[g] = mix.get(g, 0) + 1
+    total = kernel.dynamic_count
+    mem = mix.get("global", 0) + mix.get("shared", 0)
+
+    occ = occupancy(kernel, cfg)
+    reg_plan = plan_sharing(kernel, cfg,
+                            SharingSpec(SharedResource.REGISTERS, t))
+    spad_plan = plan_sharing(kernel, cfg,
+                             SharingSpec(SharedResource.SCRATCHPAD, t))
+
+    priv = int(kernel.regs_per_thread * t)
+    before = first_shared_use_distance(kernel, priv)
+    after = first_shared_use_distance(reorder_registers(kernel), priv)
+
+    return KernelAnalysis(
+        name=kernel.name,
+        threads_per_block=kernel.threads_per_block,
+        warps_per_block=kernel.warps_per_block,
+        regs_per_thread=kernel.regs_per_thread,
+        regs_per_block=kernel.regs_per_block,
+        smem_per_block=kernel.smem_per_block,
+        dynamic_per_warp=total,
+        mix=mix,
+        mem_fraction=mem / total if total else 0.0,
+        registers_referenced=len(kernel.registers_used),
+        occupancy=occ,
+        register_plan=reg_plan,
+        scratchpad_plan=spad_plan,
+        prefix_before_unroll=before,
+        prefix_after_unroll=after,
+        shared_free_tail=_shared_free_tail(reorder_registers(kernel), priv),
+    )
+
+
+def format_analysis(a: KernelAnalysis) -> str:
+    """Human-readable report (one kernel)."""
+    occ = a.occupancy
+    assert occ is not None and a.register_plan is not None \
+        and a.scratchpad_plan is not None
+    lines = [
+        f"=== {a.name} ===",
+        f"block: {a.threads_per_block} threads ({a.warps_per_block} warps), "
+        f"{a.regs_per_thread} regs/thread ({a.regs_per_block}/block), "
+        f"{a.smem_per_block} B scratchpad",
+        f"trace: {a.dynamic_per_warp} dynamic instructions/warp, "
+        f"{a.mem_fraction:.1%} memory, "
+        f"{a.registers_referenced} registers referenced",
+        "mix:   " + ", ".join(f"{k}={v}" for k, v in sorted(a.mix.items())),
+        f"occupancy: {occ.blocks} blocks/SM (limiter {occ.limiter}); "
+        f"waste: regs {occ.register_waste_pct:.1f}%, "
+        f"scratchpad {occ.scratchpad_waste_pct:.1f}%",
+        f"register sharing:   {a.register_plan.total} blocks "
+        f"({a.register_plan.unshared}U + {a.register_plan.pairs}P), "
+        f"private regs/thread {a.register_plan.private_regs_per_thread}",
+        f"scratchpad sharing: {a.scratchpad_plan.total} blocks "
+        f"({a.scratchpad_plan.unshared}U + {a.scratchpad_plan.pairs}P), "
+        f"private bytes {a.scratchpad_plan.private_units}",
+        f"non-owner prefix: {a.prefix_before_unroll} instr before unroll, "
+        f"{a.prefix_after_unroll} after; shared-free tail "
+        f"{a.shared_free_tail} instr",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: SM resource sharing.
+
+* :mod:`repro.core.occupancy` — baseline blocks/SM and resource waste
+  (the Fig. 1 motivation math).
+* :mod:`repro.core.sharing` — Eq. 1-4: how many extra blocks sharing can
+  launch, and the constructive pair/unshared plan the dispatcher follows.
+* :mod:`repro.core.locks` — exclusive access to shared register pools
+  (warp-pair granularity, with the Fig. 5 deadlock-avoidance rule) and to
+  shared scratchpad regions (block-pair granularity).
+* :mod:`repro.core.unroll` — the Sec. IV-B unrolling & reordering of
+  register declarations pass.
+* :mod:`repro.core.dynwarp` — the Sec. IV-C dynamic warp execution
+  controller (per-SM saturating probability of issuing non-owner memory
+  instructions).
+* :mod:`repro.core.overhead` — the Sec. V hardware storage formulas.
+"""
+
+from repro.core.occupancy import Occupancy, occupancy
+from repro.core.sharing import SharedResource, SharingSpec, SharingPlan, plan_sharing
+from repro.core.locks import RegisterShareGroup, ScratchpadShareGroup
+from repro.core.unroll import reorder_registers, first_shared_use_distance
+from repro.core.dynwarp import DynWarpController
+from repro.core.overhead import register_sharing_bits, scratchpad_sharing_bits
+
+__all__ = [
+    "Occupancy",
+    "occupancy",
+    "SharedResource",
+    "SharingSpec",
+    "SharingPlan",
+    "plan_sharing",
+    "RegisterShareGroup",
+    "ScratchpadShareGroup",
+    "reorder_registers",
+    "first_shared_use_distance",
+    "DynWarpController",
+    "register_sharing_bits",
+    "scratchpad_sharing_bits",
+]

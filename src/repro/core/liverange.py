@@ -1,0 +1,81 @@
+"""Early release of shared registers via live-range analysis.
+
+This implements the paper's Sec. VIII future work:
+
+    "live range analysis along with instruction reordering can be used
+    to detect and release registers that are not used beyond a point.
+    Such registers, if shared, can be used by the warp in the other
+    thread block waiting for shared registers."
+
+The analysis is conservative and trace-exact: for every trace position
+(segment, repetition, pc) it answers *"what is the highest register
+sequence number any future instruction of this warp touches?"*.  Once
+that maximum falls below the private-register threshold, the warp will
+never touch its shared pool again, so the pool can be handed to the
+partner warp immediately instead of at warp exit.
+
+Positions inside a loop that still has repetitions left see the whole
+loop body as live (any register the body uses will be used again);
+during the final repetition only the remaining tail of the body counts.
+The tables are computed once per kernel (O(static instructions)) and
+each query is O(1).
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import Kernel
+
+__all__ = ["SharedLiveness"]
+
+
+class SharedLiveness:
+    """Per-position maximum future register index for one kernel."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        n = len(kernel.segments)
+        # Highest register used anywhere in segment s's body.
+        self._body_max: list[int] = []
+        # Highest register used from instruction p to the end of the
+        # body of segment s (inclusive).
+        self._tail_max: list[list[int]] = []
+        for seg in kernel.segments:
+            tails: list[int] = []
+            m = -1
+            for ins in reversed(seg.instrs):
+                for r in ins.regs:
+                    if r > m:
+                        m = r
+                tails.append(m)
+            tails.reverse()
+            self._tail_max.append(tails)
+            self._body_max.append(m)
+        # Highest register used in segments s..end.
+        self._suffix_max = [-1] * (n + 1)
+        for s in range(n - 1, -1, -1):
+            self._suffix_max[s] = max(self._body_max[s],
+                                      self._suffix_max[s + 1])
+
+    # ------------------------------------------------------------------
+    def future_max_reg(self, seg: int, rep: int, pc: int,
+                       repeats: tuple[int, ...]) -> int:
+        """Highest register touched at or after position (seg, rep, pc).
+
+        ``repeats`` is the warp's per-segment trip-count vector (work
+        variance makes it warp-specific).  Returns -1 when the warp will
+        touch no register at all (only BAR/EXIT remain).
+        """
+        if seg >= len(self.kernel.segments):
+            return -1
+        if rep < repeats[seg] - 1:
+            cur = self._body_max[seg]  # body executes again in full
+        else:
+            cur = self._tail_max[seg][pc]
+        later = self._suffix_max[seg + 1]
+        return cur if cur >= later else later
+
+    def done_with_shared(self, seg: int, rep: int, pc: int,
+                         repeats: tuple[int, ...],
+                         private_regs: int) -> bool:
+        """True when no future instruction touches a shared register."""
+        return self.future_max_reg(seg, rep, pc, repeats) < private_regs

@@ -1,0 +1,90 @@
+"""Baseline occupancy: blocks per SM and resource waste (Fig. 1 math).
+
+Without sharing, an SM with ``R`` units of a resource fits
+``⌊R / Rtb⌋`` blocks of a kernel needing ``Rtb`` units each, and the
+remaining ``R mod Rtb`` units are wasted — the motivation of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.isa.kernel import Kernel
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the baseline (non-sharing) occupancy computation."""
+
+    #: Blocks per SM under each individual constraint.
+    by_registers: int
+    by_scratchpad: int
+    by_threads: int
+    by_blocks: int
+    #: Blocks per SM the hardware actually launches (min of the above).
+    blocks: int
+    #: Which constraint is binding: "registers", "scratchpad", "threads"
+    #: or "blocks".  Ties resolve in that order.
+    limiter: str
+    #: Fraction of the register file left unused by resident blocks.
+    register_waste: float
+    #: Fraction of scratchpad left unused by resident blocks.
+    scratchpad_waste: float
+
+    @property
+    def register_waste_pct(self) -> float:
+        """Register underutilisation as a percentage (Fig. 1b)."""
+        return 100.0 * self.register_waste
+
+    @property
+    def scratchpad_waste_pct(self) -> float:
+        """Scratchpad underutilisation as a percentage (Fig. 1d)."""
+        return 100.0 * self.scratchpad_waste
+
+
+def occupancy(kernel: Kernel, config: GPUConfig) -> Occupancy:
+    """Compute baseline blocks/SM and per-resource waste for ``kernel``.
+
+    Raises :class:`ValueError` if even a single block does not fit — the
+    paper (and real hardware) rejects such launches.
+    """
+    by_regs = (config.registers_per_sm // kernel.regs_per_block
+               if kernel.regs_per_block else config.max_blocks_per_sm)
+    by_smem = (config.scratchpad_per_sm // kernel.smem_per_block
+               if kernel.smem_per_block else config.max_blocks_per_sm)
+    by_threads = config.max_threads_per_sm // kernel.threads_per_block
+    by_blocks = config.max_blocks_per_sm
+
+    blocks = min(by_regs, by_smem, by_threads, by_blocks)
+    if blocks < 1:
+        raise ValueError(
+            f"kernel {kernel.name!r} does not fit on an SM "
+            f"(regs {by_regs}, smem {by_smem}, threads {by_threads})")
+
+    candidates = []
+    if kernel.regs_per_block:
+        candidates.append(("registers", by_regs))
+    if kernel.smem_per_block:
+        candidates.append(("scratchpad", by_smem))
+    candidates += [("threads", by_threads), ("blocks", by_blocks)]
+    for limiter, cap in candidates:
+        if cap == blocks:
+            break
+
+    reg_waste = (config.registers_per_sm - blocks * kernel.regs_per_block
+                 ) / config.registers_per_sm
+    smem_waste = (config.scratchpad_per_sm - blocks * kernel.smem_per_block
+                  ) / config.scratchpad_per_sm
+    return Occupancy(
+        by_registers=by_regs,
+        by_scratchpad=by_smem,
+        by_threads=by_threads,
+        by_blocks=by_blocks,
+        blocks=blocks,
+        limiter=limiter,
+        register_waste=reg_waste,
+        scratchpad_waste=smem_waste,
+    )

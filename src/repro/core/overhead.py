@@ -1,0 +1,80 @@
+"""Hardware storage overhead of resource sharing (paper Sec. V).
+
+Both schemes need, per SM:
+
+* 1 bit — sharing mode enabled;
+* ``T·⌈log2(T+1)⌉`` bits — partner block id per block (T = blocks/SM;
+  id T encodes "-1"/unshared);
+* ``W`` bits — owner flag per warp (W = warps/SM).
+
+Register sharing adds ``W`` bits (per-warp sharing-mode flag) and
+``⌊W/2⌋·⌈log2 W⌉`` bits of lock variables (one per shared warp pair).
+Scratchpad sharing adds ``⌊T/2⌋·⌈log2 T⌉`` bits (one lock per shared
+block pair).  Totals are multiplied by the SM count ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import GPUConfig
+
+__all__ = ["register_sharing_bits", "scratchpad_sharing_bits",
+           "overhead_summary"]
+
+
+def _clog2(x: int) -> int:
+    """⌈log2 x⌉ for positive x (0 for x = 1)."""
+    if x < 1:
+        raise ValueError("x must be >= 1")
+    return (x - 1).bit_length()
+
+
+def _common_bits(T: int, W: int) -> int:
+    """Bits shared by both schemes: mode bit + partner ids + owner flags."""
+    return 1 + T * _clog2(T + 1) + W
+
+
+def register_sharing_bits(T: int, W: int, N: int = 1) -> int:
+    """Total storage bits for register sharing on ``N`` SMs.
+
+    Paper formula: ``(1 + T⌈log2(T+1)⌉ + 2W + ⌊W/2⌋⌈log2 W⌉) · N``.
+    """
+    _validate(T, W, N)
+    per_sm = _common_bits(T, W) + W + (W // 2) * _clog2(W)
+    return per_sm * N
+
+
+def scratchpad_sharing_bits(T: int, W: int, N: int = 1) -> int:
+    """Total storage bits for scratchpad sharing on ``N`` SMs.
+
+    Paper formula: ``(1 + T⌈log2(T+1)⌉ + W + ⌊T/2⌋⌈log2 T⌉) · N``.
+    """
+    _validate(T, W, N)
+    per_sm = _common_bits(T, W) + (T // 2) * _clog2(T)
+    return per_sm * N
+
+
+def _validate(T: int, W: int, N: int) -> None:
+    if T < 1 or W < 1 or N < 1:
+        raise ValueError("T, W and N must be positive")
+
+
+def overhead_summary(config: GPUConfig) -> dict[str, int]:
+    """Evaluate both formulas for a GPU configuration (Table I defaults).
+
+    Returns bit counts for the whole GPU plus the per-SM breakdown, using
+    the configuration's maximum blocks and warps per SM.
+    """
+    T = config.max_blocks_per_sm
+    W = config.max_warps_per_sm
+    N = config.num_sms
+    return {
+        "blocks_per_sm": T,
+        "warps_per_sm": W,
+        "num_sms": N,
+        "register_sharing_bits_per_sm": register_sharing_bits(T, W, 1),
+        "register_sharing_bits_total": register_sharing_bits(T, W, N),
+        "scratchpad_sharing_bits_per_sm": scratchpad_sharing_bits(T, W, 1),
+        "scratchpad_sharing_bits_total": scratchpad_sharing_bits(T, W, N),
+    }

@@ -1,0 +1,187 @@
+"""Sharing plans: how many blocks to launch per SM (paper Sec. III-C).
+
+Notation (paper Eq. 1-4):
+
+* ``R``    — resource units per SM
+* ``Rtb``  — units one block needs
+* ``D``    — baseline blocks per SM, ``⌊R/Rtb⌋``
+* ``t``    — sharing threshold, ``0 < t ≤ 1``; a shared *pair* of blocks
+  is allocated ``(1+t)·Rtb`` units (``t·Rtb`` private each, ``(1−t)·Rtb``
+  shared), so the *percentage of resource shared* is ``(1−t)·100``.
+* ``S``    — number of shared pairs, ``U`` — unshared blocks.
+
+Constraints: ``S + U = D`` (Eq. 1, effective blocks never drop below the
+baseline), ``U·Rtb + S·(1+t)·Rtb ≤ R`` (Eq. 2), ``M = U + 2S`` (Eq. 3),
+giving the paper's Eq. 4 closed form ``M = D + (R/Rtb − D)/t``.  The
+actual launch count is additionally capped by the thread and block limits
+of the SM and by the *other* resource.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import GPUConfig, WARP_SIZE
+from repro.core.occupancy import Occupancy, occupancy
+from repro.isa.kernel import Kernel
+
+__all__ = ["SharedResource", "SharingSpec", "SharingPlan", "plan_sharing",
+           "eq4_max_blocks"]
+
+
+class SharedResource(Enum):
+    """Which SM resource is shared between paired thread blocks."""
+
+    REGISTERS = "registers"
+    SCRATCHPAD = "scratchpad"
+
+
+@dataclass(frozen=True)
+class SharingSpec:
+    """User-facing sharing configuration.
+
+    ``t`` is the paper's threshold: ``t = 0.1`` means 90 % of a block's
+    resource allocation is shared with its partner (the paper's default).
+    ``t = 1`` degenerates to no sharing.
+    """
+
+    resource: SharedResource
+    t: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.t <= 1.0:
+            raise ValueError("threshold t must satisfy 0 < t <= 1")
+
+    @property
+    def sharing_pct(self) -> float:
+        """Percentage of the resource that is shared, ``(1−t)·100``."""
+        return (1.0 - self.t) * 100.0
+
+
+@dataclass(frozen=True)
+class SharingPlan:
+    """Constructive launch plan for one SM.
+
+    The dispatcher launches ``unshared`` independent blocks plus
+    ``pairs`` two-block sharing groups, ``total = unshared + 2*pairs``
+    blocks in all.  ``baseline`` is the non-sharing block count ``D``;
+    the plan guarantees ``unshared + pairs == baseline`` so at least
+    ``baseline`` blocks always make forward progress (paper Eq. 1).
+    """
+
+    spec: SharingSpec
+    baseline: int            # D
+    unshared: int            # U
+    pairs: int               # S
+    #: Private units per *sharing participant*: registers per warp for
+    #: register sharing (``⌊Rw·t⌋`` rounded to whole per-thread registers),
+    #: bytes per block for scratchpad sharing (``⌊Rtb·t⌋``).
+    private_units: int
+    #: For register sharing: per-thread register index below which a
+    #: register is private (``⌊K·t⌋`` with K = regs/thread). 0 for
+    #: scratchpad plans.
+    private_regs_per_thread: int
+
+    @property
+    def total(self) -> int:
+        """Total blocks launched per SM (paper Eq. 3)."""
+        return self.unshared + 2 * self.pairs
+
+    @property
+    def extra(self) -> int:
+        """Blocks gained over the baseline."""
+        return self.total - self.baseline
+
+    @property
+    def enabled(self) -> bool:
+        """True when the plan actually launches shared pairs.
+
+        The paper's run-time rule: if sharing would not add blocks, all
+        blocks launch in unsharing mode (observed at 0 %/10 % sharing in
+        Tables V-VIII).
+        """
+        return self.pairs > 0
+
+
+def eq4_max_blocks(R: int, Rtb: int, t: float) -> int:
+    """Paper Eq. 4, floored to a realisable block count.
+
+    ``M = ⌊R/Rtb⌋ + ⌊(R/Rtb − ⌊R/Rtb⌋) / t⌋`` with the extra-pair count
+    additionally capped at ``D`` (a pair consumes one baseline slot, so at
+    most ``D`` pairs exist: ``U = D − S ≥ 0``).
+    """
+    if Rtb <= 0:
+        raise ValueError("Rtb must be positive")
+    D = R // Rtb
+    leftover = R - D * Rtb
+    # Number of extra pairs the leftover can fund: each pair re-uses one
+    # baseline allocation and needs t*Rtb extra units on top.
+    S = int(math.floor(leftover / (t * Rtb) + 1e-9))
+    S = min(S, D)
+    return D + S
+
+
+def plan_sharing(kernel: Kernel, config: GPUConfig,
+                 spec: SharingSpec) -> SharingPlan:
+    """Build the launch plan for ``kernel`` under ``spec``.
+
+    The shared-resource block count from Eq. 4 is capped by every *other*
+    occupancy constraint (max threads, max blocks, and the non-shared
+    resource), mirroring the paper's Sec. III-C closing remark.
+    """
+    occ: Occupancy = occupancy(kernel, config)
+    D = occ.blocks
+
+    if spec.resource is SharedResource.REGISTERS:
+        R, Rtb = config.registers_per_sm, kernel.regs_per_block
+        other_caps = (occ.by_scratchpad, occ.by_threads, occ.by_blocks)
+    else:
+        R, Rtb = config.scratchpad_per_sm, kernel.smem_per_block
+        other_caps = (occ.by_registers, occ.by_threads, occ.by_blocks)
+
+    if Rtb <= 0:
+        # Kernel does not use the shared resource at all: nothing to share.
+        return _no_sharing_plan(spec, D, kernel)
+
+    M = eq4_max_blocks(R, Rtb, spec.t)
+    M = min(M, *other_caps)
+
+    if M <= D:
+        return _no_sharing_plan(spec, D, kernel)
+
+    pairs = M - D
+    unshared = D - pairs
+    assert unshared >= 0, "Eq.4 cap violated"
+    # Eq. 2 sanity: allocated units never exceed R.
+    assert unshared * Rtb + pairs * math.floor((1 + spec.t) * Rtb) <= R + Rtb * 1e-9
+
+    if spec.resource is SharedResource.REGISTERS:
+        private_regs = int(kernel.regs_per_thread * spec.t)
+        private_units = private_regs * WARP_SIZE
+    else:
+        private_regs = 0
+        private_units = int(kernel.smem_per_block * spec.t)
+
+    return SharingPlan(
+        spec=spec,
+        baseline=D,
+        unshared=unshared,
+        pairs=pairs,
+        private_units=private_units,
+        private_regs_per_thread=private_regs,
+    )
+
+
+def _no_sharing_plan(spec: SharingSpec, baseline: int,
+                     kernel: Kernel) -> SharingPlan:
+    """All blocks launch in unsharing mode."""
+    return SharingPlan(
+        spec=spec,
+        baseline=baseline,
+        unshared=baseline,
+        pairs=0,
+        private_units=0,
+        private_regs_per_thread=0,
+    )

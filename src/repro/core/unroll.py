@@ -1,0 +1,62 @@
+"""Unrolling & reordering of register declarations (paper Sec. IV-B).
+
+A non-owner warp stalls the moment it touches a *shared* register —
+a register with sequence number ``≥ ⌊K·t⌋`` (K = registers/thread).
+If the compiler's declaration order puts hot early registers deep in the
+sequence (the paper's sgemm example: the first instruction reads
+``$p0``/``$r124`` declared 31st and 35th), the non-owner warp stalls on
+its very first instruction.
+
+The pass renumbers registers in *first-use order*: the register used
+first gets sequence number 0, and so on.  After the pass, a non-owner
+warp executes the longest possible prefix of the program using only
+private registers before its first shared access.
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import Kernel
+
+__all__ = ["reorder_registers", "first_use_mapping",
+           "first_shared_use_distance"]
+
+
+def first_use_mapping(kernel: Kernel) -> dict[int, int]:
+    """Mapping old→new register number, new numbers in first-use order.
+
+    The mapping is a bijection on ``range(kernel.regs_per_thread)``:
+    registers that never appear in the instruction stream are packed, in
+    ascending order, after the used ones (they still occupy allocation
+    slots, exactly as dead declarations do in PTXPlus).
+    """
+    order = kernel.registers_used
+    mapping = {old: new for new, old in enumerate(order)}
+    unused = [r for r in range(kernel.regs_per_thread) if r not in mapping]
+    base = len(order)
+    for i, old in enumerate(unused):
+        mapping[old] = base + i
+    return mapping
+
+
+def reorder_registers(kernel: Kernel) -> Kernel:
+    """Apply the Sec. IV-B pass; returns a renumbered copy of ``kernel``."""
+    return kernel.remap_registers(first_use_mapping(kernel))
+
+
+def first_shared_use_distance(kernel: Kernel, private_regs: int) -> int:
+    """Dynamic instructions a warp executes before touching a shared
+    register, given ``private_regs`` private registers per thread.
+
+    ``kernel.dynamic_count`` is returned when no instruction ever uses a
+    shared register (the warp never waits at all).  This is the quantity
+    the unroll pass maximises, and what the paper's LIB discussion hinges
+    on ("the number of instructions that use unshared registers before
+    the first shared use is exactly the same with and without the
+    optimization").
+    """
+    n = 0
+    for ins in kernel.iter_trace():
+        if any(r >= private_regs for r in ins.regs):
+            return n
+        n += 1
+    return n

@@ -1,0 +1,54 @@
+"""Deterministic event queue for the cycle simulator.
+
+A single global heap drives everything that is not per-cycle scheduler
+work: memory responses, DRAM bank wakeups, lock releases, monitoring
+windows.  Events at the same cycle fire in insertion order (a sequence
+number breaks ties), so simulations are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(cycle, seq, callback)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, cycle: int, fn: Callable[[int], None]) -> None:
+        """Schedule ``fn`` to run at ``cycle``.
+
+        The callback receives the cycle at which it actually fires (the
+        current simulation time), which equals the scheduled cycle in
+        normal stepping and may be later after a bulk skip.
+        """
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        heapq.heappush(self._heap, (cycle, self._seq, fn))
+        self._seq += 1
+
+    def next_cycle(self) -> int | None:
+        """Cycle of the earliest pending event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_due(self, cycle: int) -> int:
+        """Fire every event scheduled at or before ``cycle``.
+
+        Events may push new events; newly pushed events due at or before
+        ``cycle`` also fire this call.  Returns the number fired.
+        """
+        n = 0
+        while self._heap and self._heap[0][0] <= cycle:
+            _, _, fn = heapq.heappop(self._heap)
+            fn(cycle)
+            n += 1
+        return n

@@ -1,0 +1,22 @@
+"""Experiment harness: run modes, reproduce every paper table/figure."""
+
+from repro.harness.runner import Mode, run, unshared, shared, improvement
+from repro.harness.experiments import EXPERIMENTS, run_experiment, ExperimentResult
+from repro.harness import extensions as _extensions  # registers ext_* experiments
+from repro.harness.report import format_table, render_experiment
+from repro.harness.sweep import Sweep, rows_to_csv
+
+__all__ = [
+    "Mode",
+    "run",
+    "unshared",
+    "shared",
+    "improvement",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "format_table",
+    "render_experiment",
+    "Sweep",
+    "rows_to_csv",
+]

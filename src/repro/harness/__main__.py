@@ -1,0 +1,56 @@
+"""CLI: ``python -m repro.harness <experiment-id> [...]``.
+
+Examples::
+
+    python -m repro.harness fig8c
+    python -m repro.harness table5 --clusters 14 --scale 2 --waves 4
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import GPUConfig
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import bar_chart, render_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce a paper table/figure.")
+    p.add_argument("experiment",
+                   help=f"experiment id or 'all' ({', '.join(sorted(EXPERIMENTS))})")
+    p.add_argument("--clusters", type=int, default=4,
+                   help="SM clusters to simulate (paper: 14; default 4)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="kernel loop-count scale factor")
+    p.add_argument("--waves", type=float, default=6.0,
+                   help="grid waves per SM (short grids inflate "
+                        "end-of-grid tail effects)")
+    p.add_argument("--chart", metavar="COLUMN", default=None,
+                   help="also render an ASCII bar chart of COLUMN")
+    args = p.parse_args(argv)
+
+    cfg = GPUConfig().scaled(num_clusters=args.clusters)
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        res = run_experiment(exp_id, config=cfg, scale=args.scale,
+                             waves=args.waves)
+        dt = time.perf_counter() - t0
+        print(render_experiment(res))
+        if args.chart and res.rows and args.chart in res.rows[0]:
+            label = res.columns[0]
+            print(bar_chart(res.rows, label, args.chart))
+            print()
+        print(f"[{exp_id}: {dt:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Golden-file regression layer for the deterministic experiments.
+
+The sim-free experiments (occupancy, Eq. 4 block counts, overhead bits)
+are exact reproductions of paper tables and must never drift.  Their
+canonical outputs are committed in ``golden_data.json``;
+:func:`check_goldens` re-runs them and reports any mismatch.  Regenerate
+with ``python -m repro.harness.golden`` after an *intentional* change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import GPUConfig
+from repro.harness.experiments import run_experiment
+
+__all__ = ["GOLDEN_EXPERIMENTS", "collect", "check_goldens", "golden_path"]
+
+#: Deterministic, simulation-free experiments safe to pin exactly.
+GOLDEN_EXPERIMENTS = ("fig1", "fig8a", "fig8b", "table6", "table8",
+                      "hw_overhead")
+
+
+def golden_path() -> Path:
+    """Location of the committed golden data."""
+    return Path(__file__).with_name("golden_data.json")
+
+
+def collect() -> dict:
+    """Run every golden experiment on the Table I machine."""
+    cfg = GPUConfig()
+    out: dict[str, list[dict]] = {}
+    for exp_id in GOLDEN_EXPERIMENTS:
+        res = run_experiment(exp_id, config=cfg)
+        out[exp_id] = res.rows
+    return out
+
+
+def check_goldens() -> list[str]:
+    """Compare current outputs against the committed goldens.
+
+    Returns a list of human-readable mismatch descriptions (empty =
+    everything matches).
+    """
+    path = golden_path()
+    if not path.is_file():
+        return [f"golden file missing: {path}"]
+    want = json.loads(path.read_text())
+    got = collect()
+    problems: list[str] = []
+    for exp_id in GOLDEN_EXPERIMENTS:
+        if exp_id not in want:
+            problems.append(f"{exp_id}: missing from golden file")
+            continue
+        if got[exp_id] != want[exp_id]:
+            for i, (g, w) in enumerate(zip(got[exp_id], want[exp_id])):
+                if g != w:
+                    problems.append(f"{exp_id} row {i}: {w!r} -> {g!r}")
+            if len(got[exp_id]) != len(want[exp_id]):
+                problems.append(f"{exp_id}: row count "
+                                f"{len(want[exp_id])} -> {len(got[exp_id])}")
+    return problems
+
+
+def regenerate() -> Path:
+    """Rewrite the golden file from the current implementation."""
+    path = golden_path()
+    path.write_text(json.dumps(collect(), indent=1, sort_keys=True) + "\n")
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(f"wrote {regenerate()}")

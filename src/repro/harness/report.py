@@ -1,0 +1,67 @@
+"""Fixed-width text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.harness.experiments import ExperimentResult
+
+__all__ = ["format_table", "render_experiment", "bar_chart"]
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    if v is None:
+        return "-"
+    return str(v)
+
+
+def format_table(columns: list[str], rows: Iterable[dict]) -> str:
+    """Render dict rows as an aligned fixed-width table."""
+    rows = list(rows)
+    cells = [[_fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) if cells
+              else len(c) for i, c in enumerate(columns)]
+    sep = "  "
+    out = [sep.join(c.ljust(w) for c, w in zip(columns, widths))]
+    out.append(sep.join("-" * w for w in widths))
+    for row in cells:
+        out.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def bar_chart(rows, label_key: str, value_key: str, *,
+              width: int = 44) -> str:
+    """ASCII horizontal bar chart for one numeric column.
+
+    Negative values extend left of the axis, positive right — matching
+    the look of the paper's improvement figures.
+    """
+    rows = [r for r in rows if isinstance(r.get(value_key), (int, float))]
+    if not rows:
+        return "(no numeric data)"
+    vals = [float(r[value_key]) for r in rows]
+    lo, hi = min(min(vals), 0.0), max(max(vals), 0.0)
+    span = (hi - lo) or 1.0
+    lw = max(len(str(r[label_key])) for r in rows)
+    zero = round((0.0 - lo) / span * width)
+    out = [f"{'':{lw}s}  {value_key}"]
+    for r, v in zip(rows, vals):
+        pos = round((v - lo) / span * width)
+        if v >= 0:
+            bar = " " * zero + "|" + "#" * max(0, pos - zero)
+        else:
+            n = max(1, zero - pos)
+            bar = " " * (zero - n) + "#" * n + "|"
+        out.append(f"{str(r[label_key]):{lw}s}  {bar:{width + 2}s} "
+                   f"{v:8.2f}")
+    return "\n".join(out)
+
+
+def render_experiment(res: ExperimentResult) -> str:
+    """Title + table + notes."""
+    parts = [f"== {res.title} ==", format_table(res.columns, res.rows)]
+    if res.notes:
+        parts.append(f"note: {res.notes}")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,137 @@
+"""Batch sweeps over (app × mode × config) with CSV export.
+
+The experiment registry reproduces the paper's artifacts; this module is
+the general tool behind it for ad-hoc studies: build a grid of runs,
+execute them (optionally caching identical configurations), and export a
+flat table ready for any plotting tool.
+
+Example::
+
+    sweep = Sweep(config=GPUConfig().scaled(num_clusters=4))
+    sweep.add_apps(["hotspot", "MUM"])
+    sweep.add_modes([unshared("lrr"), unshared("gto"),
+                     shared(SharedResource.REGISTERS, "owf", unroll=True)])
+    rows = sweep.run()
+    print(sweep.to_csv())
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from repro.config import GPUConfig
+from repro.harness.runner import Mode, run
+from repro.sim.stats import RunResult
+from repro.workloads.apps import APPS, App
+
+__all__ = ["Sweep", "result_row", "rows_to_csv"]
+
+#: Flat columns exported for every run.
+CSV_COLUMNS = (
+    "app", "mode", "clusters", "scale", "waves", "ipc", "cycles",
+    "instructions", "stall_cycles", "idle_cycles", "max_resident_blocks",
+    "blocks_baseline", "blocks_total", "l1_miss_rate", "l2_miss_rate",
+    "dram_requests", "lock_acquires", "lock_waits", "dyn_refusals",
+    "early_releases",
+)
+
+
+def result_row(res: RunResult, *, clusters: int, scale: float,
+               waves: float) -> dict:
+    """Flatten a :class:`RunResult` into one CSV row."""
+    agg = lambda f: sum(getattr(s, f) for s in res.sm_stats)  # noqa: E731
+    return {
+        "app": res.kernel,
+        "mode": res.mode,
+        "clusters": clusters,
+        "scale": scale,
+        "waves": waves,
+        "ipc": round(res.ipc, 4),
+        "cycles": res.cycles,
+        "instructions": res.instructions,
+        "stall_cycles": res.stall_cycles,
+        "idle_cycles": res.idle_cycles,
+        "max_resident_blocks": res.max_resident_blocks,
+        "blocks_baseline": res.blocks_baseline,
+        "blocks_total": res.blocks_total,
+        "l1_miss_rate": round(float(res.mem["l1_miss_rate"]), 4),
+        "l2_miss_rate": round(float(res.mem["l2_miss_rate"]), 4),
+        "dram_requests": res.mem["dram_requests"],
+        "lock_acquires": agg("lock_acquires"),
+        "lock_waits": agg("lock_waits"),
+        "dyn_refusals": agg("dyn_refusals"),
+        "early_releases": agg("early_releases"),
+    }
+
+
+def rows_to_csv(rows: Iterable[dict]) -> str:
+    """Render rows as CSV text with the standard column set."""
+    out = io.StringIO()
+    out.write(",".join(CSV_COLUMNS) + "\n")
+    for r in rows:
+        out.write(",".join(str(r.get(c, "")) for c in CSV_COLUMNS) + "\n")
+    return out.getvalue()
+
+
+class Sweep:
+    """A grid of (app × mode) runs on one machine configuration."""
+
+    def __init__(self, *, config: GPUConfig | None = None,
+                 scale: float = 1.0, waves: float = 6.0) -> None:
+        self.config = config if config is not None else GPUConfig()
+        self.scale = scale
+        self.waves = waves
+        self._apps: list[App] = []
+        self._modes: list[Mode] = []
+        self.rows: list[dict] = []
+
+    # -- grid construction ----------------------------------------------
+    def add_apps(self, apps: Iterable[str | App]) -> "Sweep":
+        """Add apps by name (registry) or as App objects."""
+        for a in apps:
+            self._apps.append(APPS[a] if isinstance(a, str) else a)
+        return self
+
+    def add_modes(self, modes: Iterable[Mode]) -> "Sweep":
+        """Add run modes."""
+        self._modes.extend(modes)
+        return self
+
+    @property
+    def size(self) -> int:
+        """Number of simulations the sweep will run."""
+        return len(self._apps) * len(self._modes)
+
+    # -- execution --------------------------------------------------------
+    def run(self, progress: bool = False) -> list[dict]:
+        """Execute the grid; returns (and stores) the flat rows."""
+        if not self._apps or not self._modes:
+            raise ValueError("sweep needs at least one app and one mode")
+        self.rows = []
+        for app in self._apps:
+            for mode in self._modes:
+                res = run(app, mode, config=self.config, scale=self.scale,
+                          waves=self.waves)
+                self.rows.append(result_row(
+                    res, clusters=self.config.num_clusters,
+                    scale=self.scale, waves=self.waves))
+                if progress:  # pragma: no cover - console nicety
+                    print(f"  {app.name} / {mode.label}: "
+                          f"IPC {res.ipc:.2f}")
+        return self.rows
+
+    def to_csv(self) -> str:
+        """CSV of the last :meth:`run`."""
+        if not self.rows:
+            raise ValueError("run() the sweep first")
+        return rows_to_csv(self.rows)
+
+    def best_mode_per_app(self) -> dict[str, str]:
+        """App → label of its highest-IPC mode (from the last run)."""
+        best: dict[str, dict] = {}
+        for r in self.rows:
+            cur = best.get(r["app"])
+            if cur is None or r["ipc"] > cur["ipc"]:
+                best[r["app"]] = r
+        return {app: r["mode"] for app, r in best.items()}

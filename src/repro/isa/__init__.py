@@ -1,0 +1,31 @@
+"""A small PTX-like instruction set for synthetic GPU kernels.
+
+The simulator does not execute real CUDA; kernels are straight-line
+sequences of :class:`~repro.isa.instructions.Instr` records organised into
+repeated :class:`~repro.isa.kernel.Segment`\\ s.  Each instruction names the
+per-thread register sequence numbers it reads/writes (which is exactly the
+granularity the paper's register-sharing mechanism and the
+unroll-and-reorder pass operate on) and, for memory operations, a compact
+descriptor of the warp's access pattern.
+"""
+
+from repro.isa.opcodes import Op, MemSpace, Pattern, op_group
+from repro.isa.instructions import Instr, MemDesc
+from repro.isa.kernel import Segment, Kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.assembler import assemble, disassemble, AsmError
+
+__all__ = [
+    "Op",
+    "MemSpace",
+    "Pattern",
+    "op_group",
+    "Instr",
+    "MemDesc",
+    "Segment",
+    "Kernel",
+    "KernelBuilder",
+    "assemble",
+    "disassemble",
+    "AsmError",
+]

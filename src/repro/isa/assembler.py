@@ -1,0 +1,318 @@
+"""Text assembler / disassembler for the synthetic ISA.
+
+A kernel can be written in a small PTXPlus-flavoured text format, which
+makes workloads shareable as plain files and gives the unroll pass
+something tangible to show (the paper's Fig. 7 is exactly such a
+listing).  Example::
+
+    .kernel forces
+    .block 192
+    .regs 40
+    .smem 3072
+    .grid 64
+    .seed 7
+    .variance 0.30
+
+    ldg   r5, g[positions : 131072 : shared]
+    sts   s[0 : 128 : 3072], r5
+    bar
+    .loop 40
+        ldg  r6, g[neighbors : 98304 : shared : strided : 2]
+        ffma r7, r6
+        fadd r8, r7
+        lds  r9, s[0 : 96 : 3072]
+    .endloop
+    stg   g[out : 131072], r8
+    exit
+
+Syntax
+    * Directives: ``.kernel`` ``.block`` ``.regs`` ``.smem`` ``.grid``
+      ``.seed`` ``.variance`` ``.loop N`` / ``.endloop`` (no nesting).
+    * Registers: ``rN`` with per-thread sequence number ``N``.
+    * Global operands: ``g[region : footprint(, : private|shared)
+      (: coalesced|strided|random|broadcast)(: txn)]`` — ``shared`` means
+      all blocks walk one region, ``private`` (default) gives each block
+      its own slice.
+    * Scratchpad operands: ``s[offset(: stride : wrap)]`` in bytes.
+    * ALU: ``iadd/imul/fadd/fmul/ffma/mov/setp rD, rS...``; ``sfu rD, rS``.
+    * ``bar`` and ``exit`` stand alone.  ``exit`` is appended
+      automatically if missing.  Comments start with ``;`` or ``#``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instr, MemDesc
+from repro.isa.kernel import Kernel, Segment
+from repro.isa.opcodes import MemSpace, Op, Pattern
+
+__all__ = ["assemble", "disassemble", "AsmError"]
+
+_ALU = {"iadd": Op.IADD, "imul": Op.IMUL, "fadd": Op.FADD,
+        "fmul": Op.FMUL, "ffma": Op.FFMA, "mov": Op.MOV, "setp": Op.SETP}
+_PATTERNS = {"coalesced": Pattern.COALESCED, "strided": Pattern.STRIDED,
+             "random": Pattern.RANDOM, "broadcast": Pattern.BROADCAST}
+_PAT_NAMES = {v: k for k, v in _PATTERNS.items()}
+
+
+class AsmError(ValueError):
+    """Syntax or semantic error in kernel assembly text."""
+
+    def __init__(self, lineno: int, msg: str) -> None:
+        super().__init__(f"line {lineno}: {msg}")
+        self.lineno = lineno
+
+
+def _strip(line: str) -> str:
+    for c in (";", "#"):
+        i = line.find(c)
+        if i >= 0:
+            line = line[:i]
+    return line.strip()
+
+
+def _parse_reg(tok: str, lineno: int) -> int:
+    tok = tok.strip()
+    if not tok.startswith("r") or not tok[1:].isdigit():
+        raise AsmError(lineno, f"expected register, got {tok!r}")
+    return int(tok[1:])
+
+
+def _parse_global(tok: str, lineno: int) -> MemDesc:
+    tok = tok.strip()
+    if not (tok.startswith("g[") and tok.endswith("]")):
+        raise AsmError(lineno, f"expected g[...] operand, got {tok!r}")
+    parts = [p.strip() for p in tok[2:-1].split(":")]
+    if len(parts) < 2:
+        raise AsmError(lineno, "g[] needs at least region:footprint")
+    region = parts[0]
+    try:
+        footprint = int(parts[1])
+    except ValueError:
+        raise AsmError(lineno, f"bad footprint {parts[1]!r}") from None
+    block_private = True
+    pattern = Pattern.COALESCED
+    txn = 1
+    for extra in parts[2:]:
+        low = extra.lower()
+        if low in ("shared", "private"):
+            block_private = low == "private"
+        elif low in _PATTERNS:
+            pattern = _PATTERNS[low]
+        elif low.isdigit():
+            txn = int(low)
+        else:
+            raise AsmError(lineno, f"unknown g[] qualifier {extra!r}")
+    try:
+        return MemDesc(MemSpace.GLOBAL, pattern=pattern, txn=txn,
+                       footprint=footprint, block_private=block_private,
+                       region=region)
+    except ValueError as e:
+        raise AsmError(lineno, str(e)) from None
+
+
+def _parse_shared(tok: str, lineno: int) -> MemDesc:
+    tok = tok.strip()
+    if not (tok.startswith("s[") and tok.endswith("]")):
+        raise AsmError(lineno, f"expected s[...] operand, got {tok!r}")
+    parts = [p.strip() for p in tok[2:-1].split(":")]
+    try:
+        nums = [int(p) for p in parts]
+    except ValueError:
+        raise AsmError(lineno, f"bad s[] numbers in {tok!r}") from None
+    conflicts = 1
+    if len(nums) == 1:
+        off, stride, wrap = nums[0], 0, 0
+    elif len(nums) == 3:
+        off, stride, wrap = nums
+    elif len(nums) == 4:
+        off, stride, wrap, conflicts = nums
+    else:
+        raise AsmError(lineno,
+                       "s[] takes offset or offset:stride:wrap[:conflicts]")
+    try:
+        return MemDesc(MemSpace.SHARED, offset=off, stride=stride,
+                       wrap=wrap, conflicts=conflicts)
+    except ValueError as e:
+        raise AsmError(lineno, str(e)) from None
+
+
+def assemble(text: str) -> Kernel:
+    """Parse assembly ``text`` into a :class:`Kernel`."""
+    meta: dict[str, object] = {"kernel": "kernel", "block": 64, "regs": 16,
+                               "smem": 0, "grid": 1, "seed": 0,
+                               "variance": 0.0}
+    segments: list[Segment] = []
+    current: list[Instr] = []
+    loop_body: list[Instr] | None = None
+    loop_count = 0
+    saw_exit = False
+
+    def flush() -> None:
+        nonlocal current
+        if current:
+            segments.append(Segment(tuple(current), 1))
+            current = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        toks = line.split(None, 1)
+        head = toks[0].lower()
+        rest = toks[1] if len(toks) > 1 else ""
+
+        if head.startswith("."):
+            if head == ".loop":
+                if loop_body is not None:
+                    raise AsmError(lineno, "loops cannot nest")
+                flush()
+                try:
+                    loop_count = int(rest)
+                except ValueError:
+                    raise AsmError(lineno, ".loop needs a count") from None
+                loop_body = []
+            elif head == ".endloop":
+                if loop_body is None:
+                    raise AsmError(lineno, ".endloop without .loop")
+                if not loop_body:
+                    raise AsmError(lineno, "empty loop body")
+                segments.append(Segment(tuple(loop_body), loop_count))
+                loop_body = None
+            elif head in (".kernel",):
+                meta["kernel"] = rest.strip() or "kernel"
+            elif head in (".block", ".regs", ".smem", ".grid", ".seed"):
+                try:
+                    meta[head[1:]] = int(rest)
+                except ValueError:
+                    raise AsmError(lineno, f"{head} needs an integer") from None
+            elif head == ".variance":
+                try:
+                    meta["variance"] = float(rest)
+                except ValueError:
+                    raise AsmError(lineno, ".variance needs a float") from None
+            else:
+                raise AsmError(lineno, f"unknown directive {head}")
+            continue
+
+        target = loop_body if loop_body is not None else current
+        args = [a.strip() for a in rest.split(",")] if rest else []
+
+        if head in _ALU:
+            if len(args) < 2:
+                raise AsmError(lineno, f"{head} needs dst and src registers")
+            dst = _parse_reg(args[0], lineno)
+            src = tuple(_parse_reg(a, lineno) for a in args[1:])
+            target.append(Instr(_ALU[head], dst=(dst,), src=src))
+        elif head == "sfu":
+            if len(args) != 2:
+                raise AsmError(lineno, "sfu needs dst and src")
+            target.append(Instr(Op.SFU, dst=(_parse_reg(args[0], lineno),),
+                                src=(_parse_reg(args[1], lineno),)))
+        elif head == "ldg":
+            if len(args) != 2:
+                raise AsmError(lineno, "ldg needs rD, g[...]")
+            target.append(Instr(Op.LDG, dst=(_parse_reg(args[0], lineno),),
+                                mem=_parse_global(args[1], lineno)))
+        elif head == "stg":
+            if len(args) != 2:
+                raise AsmError(lineno, "stg needs g[...], rS")
+            target.append(Instr(Op.STG, src=(_parse_reg(args[1], lineno),),
+                                mem=_parse_global(args[0], lineno)))
+        elif head == "lds":
+            if len(args) != 2:
+                raise AsmError(lineno, "lds needs rD, s[...]")
+            target.append(Instr(Op.LDS, dst=(_parse_reg(args[0], lineno),),
+                                mem=_parse_shared(args[1], lineno)))
+        elif head == "sts":
+            if len(args) != 2:
+                raise AsmError(lineno, "sts needs s[...], rS")
+            target.append(Instr(Op.STS, src=(_parse_reg(args[1], lineno),),
+                                mem=_parse_shared(args[0], lineno)))
+        elif head == "bar":
+            target.append(Instr(Op.BAR))
+        elif head == "exit":
+            if loop_body is not None:
+                raise AsmError(lineno, "exit inside a loop")
+            target.append(Instr(Op.EXIT))
+            saw_exit = True
+        else:
+            raise AsmError(lineno, f"unknown instruction {head!r}")
+
+    if loop_body is not None:
+        raise AsmError(len(text.splitlines()), "unterminated .loop")
+    if not saw_exit:
+        current.append(Instr(Op.EXIT))
+    flush()
+    if not segments:
+        raise AsmError(0, "no instructions")
+    try:
+        return Kernel(
+            name=str(meta["kernel"]),
+            threads_per_block=int(meta["block"]),  # type: ignore[arg-type]
+            regs_per_thread=int(meta["regs"]),  # type: ignore[arg-type]
+            smem_per_block=int(meta["smem"]),  # type: ignore[arg-type]
+            grid_blocks=int(meta["grid"]),  # type: ignore[arg-type]
+            segments=tuple(segments),
+            seed=int(meta["seed"]),  # type: ignore[arg-type]
+            work_variance=float(meta["variance"]),  # type: ignore[arg-type]
+        )
+    except ValueError as e:
+        raise AsmError(0, f"kernel validation failed: {e}") from None
+
+
+# ----------------------------------------------------------------------
+def _fmt_global(m: MemDesc) -> str:
+    parts = [m.region, str(m.footprint),
+             "private" if m.block_private else "shared"]
+    if m.pattern is not Pattern.COALESCED:
+        parts.append(_PAT_NAMES[m.pattern])
+    if m.txn != 1:
+        parts.append(str(m.txn))
+    return "g[" + " : ".join(parts) + "]"
+
+
+def _fmt_shared(m: MemDesc) -> str:
+    if m.conflicts != 1:
+        return f"s[{m.offset} : {m.stride} : {m.wrap} : {m.conflicts}]"
+    if m.stride or m.wrap:
+        return f"s[{m.offset} : {m.stride} : {m.wrap}]"
+    return f"s[{m.offset}]"
+
+
+def _fmt_instr(ins: Instr) -> str:
+    op = ins.op
+    if op in (Op.BAR, Op.EXIT):
+        return op.name.lower()
+    if op is Op.LDG:
+        return f"ldg   r{ins.dst[0]}, {_fmt_global(ins.mem)}"
+    if op is Op.STG:
+        return f"stg   {_fmt_global(ins.mem)}, r{ins.src[0]}"
+    if op is Op.LDS:
+        return f"lds   r{ins.dst[0]}, {_fmt_shared(ins.mem)}"
+    if op is Op.STS:
+        return f"sts   {_fmt_shared(ins.mem)}, r{ins.src[0]}"
+    srcs = ", ".join(f"r{r}" for r in ins.src)
+    return f"{op.name.lower():5s} r{ins.dst[0]}, {srcs}"
+
+
+def disassemble(kernel: Kernel) -> str:
+    """Render a kernel back to assembly text (assemble∘disassemble is a
+    round trip, asserted by the tests)."""
+    out = [
+        f".kernel {kernel.name}",
+        f".block {kernel.threads_per_block}",
+        f".regs {kernel.regs_per_thread}",
+        f".smem {kernel.smem_per_block}",
+        f".grid {kernel.grid_blocks}",
+        f".seed {kernel.seed}",
+        f".variance {kernel.work_variance}",
+        "",
+    ]
+    for seg in kernel.segments:
+        if seg.repeat > 1:
+            out.append(f".loop {seg.repeat}")
+            out.extend("    " + _fmt_instr(i) for i in seg.instrs)
+            out.append(".endloop")
+        else:
+            out.extend(_fmt_instr(i) for i in seg.instrs)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,197 @@
+"""Fluent builder for synthetic kernels.
+
+The builder produces :class:`~repro.isa.kernel.Kernel` objects and takes
+care of register bookkeeping so workload definitions stay readable::
+
+    b = KernelBuilder("hotspot", block_size=256, regs=36, smem=0, grid=168)
+    b.ldg(region="grid_in", footprint=2 << 20)
+    with b.loop(40):
+        b.alu_chain(6)
+        b.alu_indep(4)
+    b.bar()
+    b.stg(region="grid_out", footprint=2 << 20)
+    kernel = b.build()
+
+Register allocation order is controllable: ``alloc="high_first"``
+(default) makes early instructions touch *high* register sequence
+numbers, reproducing the situation of the paper's Fig. 7(a) where the
+first instructions of sgemm use registers deep in the declaration order —
+i.e. registers that fall in the *shared* partition — which is exactly
+what the Sec. IV-B unroll-and-reorder pass fixes.  ``alloc="low_first"``
+models an already-friendly declaration order.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.isa.instructions import Instr, MemDesc
+from repro.isa.kernel import Kernel, Segment
+from repro.isa.opcodes import MemSpace, Op, Pattern
+
+__all__ = ["KernelBuilder"]
+
+
+class KernelBuilder:
+    """Incrementally assemble a :class:`Kernel`."""
+
+    def __init__(self, name: str, *, block_size: int, regs: int,
+                 smem: int = 0, grid: int = 1, seed: int = 0,
+                 alloc: str = "high_first", variance: float = 0.0) -> None:
+        if alloc not in ("high_first", "low_first"):
+            raise ValueError("alloc must be 'high_first' or 'low_first'")
+        self.name = name
+        self.block_size = block_size
+        self.regs = regs
+        self.smem = smem
+        self.grid = grid
+        self.seed = seed
+        self.variance = variance
+        self._alloc = alloc
+        self._cursor = 0
+        self._last_dst: int | None = None
+        self._segments: list[Segment] = []
+        self._current: list[Instr] = []
+        self._in_loop = False
+
+    # ------------------------------------------------------------------
+    # register bookkeeping
+    # ------------------------------------------------------------------
+    def _next_reg(self) -> int:
+        """Allocate the next register in the configured declaration order."""
+        idx = self._cursor % self.regs
+        self._cursor += 1
+        if self._alloc == "high_first":
+            return self.regs - 1 - idx
+        return idx
+
+    def _pick_src(self, src: int | None) -> int:
+        if src is not None:
+            return src
+        if self._last_dst is not None:
+            return self._last_dst
+        return self._next_reg()
+
+    def _emit(self, instr: Instr) -> None:
+        self._current.append(instr)
+        if instr.dst:
+            self._last_dst = instr.dst[0]
+
+    # ------------------------------------------------------------------
+    # instruction emitters
+    # ------------------------------------------------------------------
+    def alu(self, *, op: Op = Op.FFMA, dst: int | None = None,
+            src: tuple[int, ...] | None = None) -> int:
+        """Emit one ALU instruction; returns its destination register."""
+        d = self._next_reg() if dst is None else dst
+        s = src if src is not None else (self._pick_src(None),)
+        self._emit(Instr(op, dst=(d,), src=tuple(s)))
+        return d
+
+    def alu_chain(self, n: int, *, op: Op = Op.FFMA) -> int:
+        """Emit ``n`` ALU instructions forming a RAW dependency chain."""
+        d = self._last_dst if self._last_dst is not None else self._next_reg()
+        for _ in range(n):
+            d = self.alu(op=op, src=(d,))
+        return d
+
+    def alu_indep(self, n: int, *, op: Op = Op.FADD) -> None:
+        """Emit ``n`` mutually independent ALU instructions."""
+        for _ in range(n):
+            d = self._next_reg()
+            s = self._next_reg()
+            if s == d:  # tiny register budgets: avoid self-dependence
+                s = (d + 1) % self.regs
+            self._emit(Instr(op, dst=(d,), src=(s,)))
+
+    def sfu(self, n: int = 1) -> int:
+        """Emit ``n`` chained special-function instructions."""
+        d = self._last_dst if self._last_dst is not None else self._next_reg()
+        for _ in range(n):
+            nd = self._next_reg()
+            self._emit(Instr(Op.SFU, dst=(nd,), src=(d,)))
+            d = nd
+        return d
+
+    def ldg(self, *, region: str = "g0", footprint: int,
+            pattern: Pattern = Pattern.COALESCED, txn: int = 1,
+            block_private: bool = True, dst: int | None = None) -> int:
+        """Emit a global load; returns its destination register."""
+        d = self._next_reg() if dst is None else dst
+        mem = MemDesc(MemSpace.GLOBAL, pattern=pattern, txn=txn,
+                      footprint=footprint, block_private=block_private,
+                      region=region)
+        self._emit(Instr(Op.LDG, dst=(d,), src=(), mem=mem))
+        return d
+
+    def stg(self, *, region: str = "g0", footprint: int,
+            pattern: Pattern = Pattern.COALESCED, txn: int = 1,
+            block_private: bool = True, src: int | None = None) -> None:
+        """Emit a global store reading ``src`` (defaults to last result)."""
+        s = self._pick_src(src)
+        mem = MemDesc(MemSpace.GLOBAL, pattern=pattern, txn=txn,
+                      footprint=footprint, block_private=block_private,
+                      region=region)
+        self._emit(Instr(Op.STG, dst=(), src=(s,), mem=mem))
+
+    def lds(self, *, offset: int, stride: int = 0, wrap: int = 0,
+            conflicts: int = 1, dst: int | None = None) -> int:
+        """Emit a scratchpad load; returns its destination register."""
+        d = self._next_reg() if dst is None else dst
+        mem = MemDesc(MemSpace.SHARED, offset=offset, stride=stride,
+                      wrap=wrap, conflicts=conflicts)
+        self._emit(Instr(Op.LDS, dst=(d,), src=(), mem=mem))
+        return d
+
+    def sts(self, *, offset: int, stride: int = 0, wrap: int = 0,
+            conflicts: int = 1, src: int | None = None) -> None:
+        """Emit a scratchpad store reading ``src``."""
+        s = self._pick_src(src)
+        mem = MemDesc(MemSpace.SHARED, offset=offset, stride=stride,
+                      wrap=wrap, conflicts=conflicts)
+        self._emit(Instr(Op.STS, dst=(), src=(s,), mem=mem))
+
+    def bar(self) -> None:
+        """Emit a block-wide barrier (``__syncthreads()``)."""
+        self._emit(Instr(Op.BAR))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        if self._current:
+            self._segments.append(Segment(tuple(self._current), 1))
+            self._current = []
+
+    @contextmanager
+    def loop(self, repeat: int) -> Iterator[None]:
+        """Group subsequent instructions into a segment repeated ``repeat``
+        times.  Loops cannot nest (flatten trip counts instead)."""
+        if self._in_loop:
+            raise RuntimeError("loops cannot nest; multiply trip counts")
+        self._flush()
+        self._in_loop = True
+        try:
+            yield
+        finally:
+            self._in_loop = False
+            if not self._current:
+                raise ValueError("empty loop body")
+            self._segments.append(Segment(tuple(self._current), repeat))
+            self._current = []
+
+    def build(self) -> Kernel:
+        """Finalise: append EXIT and construct the kernel."""
+        self._emit(Instr(Op.EXIT))
+        self._flush()
+        return Kernel(
+            name=self.name,
+            threads_per_block=self.block_size,
+            regs_per_thread=self.regs,
+            smem_per_block=self.smem,
+            grid_blocks=self.grid,
+            segments=tuple(self._segments),
+            seed=self.seed,
+            work_variance=self.variance,
+        )

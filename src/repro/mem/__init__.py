@@ -1,0 +1,23 @@
+"""Memory hierarchy substrate: coalescer, caches, DRAM, plumbing.
+
+Models the Table I memory system at first order: a 16 KB 4-way L1 with
+MSHRs per SM, a shared 768 KB 8-way L2 split into address-interleaved
+partitions, and one FR-FCFS DRAM controller per partition with per-bank
+row buffers and GDDR timing parameters.  Everything is event-driven on
+the core clock (see DESIGN.md §4).
+"""
+
+from repro.mem.request import AddressMap, coalesce_lines
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.dram import DramController, DramStats
+from repro.mem.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "AddressMap",
+    "coalesce_lines",
+    "Cache",
+    "CacheStats",
+    "DramController",
+    "DramStats",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,111 @@
+"""Set-associative LRU cache with MSHRs (used for both L1 and L2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "Cache"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    mshr_merges: int = 0
+    mshr_rejects: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0.0 when the cache was never touched)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Tag-only set-associative LRU cache with miss-status registers.
+
+    ``lookup`` classifies an access as ``"hit"``, ``"miss"`` (MSHR
+    allocated — caller must later call :meth:`fill`), ``"merge"`` (an
+    MSHR for the line already exists — caller registers a waiter) or
+    ``"reject"`` (all MSHRs busy — structural hazard, retry later).
+    """
+
+    def __init__(self, *, size: int, assoc: int, line_size: int,
+                 mshrs: int, name: str = "cache") -> None:
+        if size % (assoc * line_size):
+            raise ValueError("size must be divisible by assoc*line_size")
+        self.name = name
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = size // (assoc * line_size)
+        self.n_mshrs = mshrs
+        # Each set is an LRU-ordered list of line addresses, MRU last.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        # Outstanding misses: line addr -> list of opaque waiter tokens.
+        self.mshr: dict[int, list[object]] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_size) % self.n_sets
+
+    def probe(self, line_addr: int) -> bool:
+        """Non-destructive presence check (no stats, no LRU update)."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def lookup(self, line_addr: int, waiter: object,
+               allocate: bool = True) -> str:
+        """Access ``line_addr``; see class docstring for outcomes.
+
+        With ``allocate=False`` (write-through stores) a miss does not
+        take an MSHR and the result is ``"bypass"``.
+        """
+        self.stats.accesses += 1
+        s = self._sets[self._set_index(line_addr)]
+        if line_addr in s:
+            self.stats.hits += 1
+            s.remove(line_addr)
+            s.append(line_addr)  # MRU
+            return "hit"
+        if not allocate:
+            self.stats.misses += 1
+            return "bypass"
+        pending = self.mshr.get(line_addr)
+        if pending is not None:
+            self.stats.mshr_merges += 1
+            self.stats.misses += 1
+            pending.append(waiter)
+            return "merge"
+        if len(self.mshr) >= self.n_mshrs:
+            self.stats.mshr_rejects += 1
+            self.stats.accesses -= 1  # rejected access never happened
+            return "reject"
+        self.stats.misses += 1
+        self.mshr[line_addr] = [waiter]
+        return "miss"
+
+    def fill(self, line_addr: int) -> list[object]:
+        """Install a returning line; returns and clears its waiters."""
+        waiters = self.mshr.pop(line_addr, [])
+        s = self._sets[self._set_index(line_addr)]
+        if line_addr not in s:
+            if len(s) >= self.assoc:
+                s.pop(0)  # evict LRU
+                self.stats.evictions += 1
+            s.append(line_addr)
+        return waiters
+
+    @property
+    def mshr_free(self) -> int:
+        """Number of free miss-status registers."""
+        return self.n_mshrs - len(self.mshr)
+
+    def flush(self) -> None:
+        """Drop all cached lines (MSHRs must be drained first)."""
+        if self.mshr:
+            raise RuntimeError("cannot flush with outstanding misses")
+        for s in self._sets:
+            s.clear()

@@ -1,0 +1,110 @@
+"""Scheduler interface and the sorted ready-warp container.
+
+Each SM has ``num_schedulers`` scheduler instances (Table I: two); warps
+are statically partitioned by ``dynamic_id % num_schedulers``, mirroring
+GPGPU-Sim.  A scheduler owns the READY warps of its partition in a list
+kept sorted by dynamic id (launch age), which every policy is defined
+over: LRR rotates through it, GTO/OWF take the oldest, two-level walks it
+in fetch groups.
+
+``pick(cycle, issuable)`` returns a READY warp for which the
+``issuable`` predicate holds (the SM uses the predicate for same-cycle
+structural constraints such as the single LD/ST port), or None.  The SM
+then attempts the issue; if the warp turns out to be blocked (shared-pool
+lock, Dyn refusal, MSHR rejection) it leaves the ready list and ``pick``
+is consulted again in the same cycle.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Callable, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.warp import WarpContext
+
+__all__ = ["SortedWarpList", "WarpScheduler", "make_scheduler", "SCHEDULERS"]
+
+
+class SortedWarpList:
+    """Warps kept sorted by ``dynamic_id`` with O(log n) add/remove."""
+
+    __slots__ = ("_ids", "_warps")
+
+    def __init__(self) -> None:
+        self._ids: list[int] = []
+        self._warps: list["WarpContext"] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator["WarpContext"]:
+        return iter(self._warps)
+
+    def __contains__(self, warp: "WarpContext") -> bool:
+        i = bisect_left(self._ids, warp.dynamic_id)
+        return i < len(self._ids) and self._ids[i] == warp.dynamic_id
+
+    def add(self, warp: "WarpContext") -> None:
+        """Insert ``warp`` (ids are unique per SM; double-add is a bug)."""
+        i = bisect_left(self._ids, warp.dynamic_id)
+        if i < len(self._ids) and self._ids[i] == warp.dynamic_id:
+            raise ValueError("warp already in ready list")
+        self._ids.insert(i, warp.dynamic_id)
+        self._warps.insert(i, warp)
+
+    def discard(self, warp: "WarpContext") -> None:
+        """Remove ``warp`` if present."""
+        i = bisect_left(self._ids, warp.dynamic_id)
+        if i < len(self._ids) and self._ids[i] == warp.dynamic_id:
+            del self._ids[i]
+            del self._warps[i]
+
+    def iter_round_robin(self, after_id: int) -> Iterator["WarpContext"]:
+        """Iterate all warps starting just after ``after_id``, wrapping."""
+        i = bisect_right(self._ids, after_id)
+        yield from self._warps[i:]
+        yield from self._warps[:i]
+
+
+class WarpScheduler:
+    """Base class; subclasses implement :meth:`pick`."""
+
+    name = "base"
+
+    def __init__(self, sched_id: int, **_: object) -> None:
+        self.sched_id = sched_id
+        self.ready = SortedWarpList()
+        self.last: Optional["WarpContext"] = None
+
+    # -- ready-list maintenance (driven by the SM) ---------------------
+    def on_ready(self, warp: "WarpContext") -> None:
+        self.ready.add(warp)
+
+    def on_unready(self, warp: "WarpContext") -> None:
+        self.ready.discard(warp)
+
+    def on_issued(self, warp: "WarpContext") -> None:
+        self.last = warp
+
+    # -- policy ---------------------------------------------------------
+    def pick(self, cycle: int,
+             issuable: Callable[["WarpContext"], bool]
+             ) -> Optional["WarpContext"]:
+        raise NotImplementedError
+
+
+def make_scheduler(name: str, sched_id: int, *,
+                   fetch_group_size: int = 8) -> WarpScheduler:
+    """Factory over the registered scheduling policies."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(sched_id, fetch_group_size=fetch_group_size)
+
+
+# Populated by the policy modules at import time (see package __init__).
+SCHEDULERS: dict[str, type[WarpScheduler]] = {}

@@ -1,0 +1,34 @@
+"""Greedy-Then-Oldest: stick with the last warp, else oldest ready."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sched.base import SCHEDULERS, WarpScheduler
+from repro.sim.warp import WarpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.warp import WarpContext
+
+__all__ = ["GTOScheduler"]
+
+
+class GTOScheduler(WarpScheduler):
+    """GTO keeps issuing from one warp until it stalls, then the oldest."""
+
+    name = "gto"
+
+    def pick(self, cycle: int,
+             issuable: Callable[["WarpContext"], bool]
+             ) -> Optional["WarpContext"]:
+        last = self.last
+        if (last is not None and last.state is WarpState.READY
+                and last in self.ready and issuable(last)):
+            return last
+        for w in self.ready:  # sorted by dynamic id == age
+            if issuable(w):
+                return w
+        return None
+
+
+SCHEDULERS["gto"] = GTOScheduler

@@ -1,0 +1,37 @@
+"""Loose Round Robin — the paper's baseline scheduler (Table I)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sched.base import SCHEDULERS, WarpScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.warp import WarpContext
+
+__all__ = ["LRRScheduler"]
+
+
+class LRRScheduler(WarpScheduler):
+    """Rotate through ready warps, resuming after the last issued id."""
+
+    name = "lrr"
+
+    def __init__(self, sched_id: int, **kw: object) -> None:
+        super().__init__(sched_id, **kw)
+        self._after = -1
+
+    def pick(self, cycle: int,
+             issuable: Callable[["WarpContext"], bool]
+             ) -> Optional["WarpContext"]:
+        for w in self.ready.iter_round_robin(self._after):
+            if issuable(w):
+                return w
+        return None
+
+    def on_issued(self, warp: "WarpContext") -> None:
+        super().on_issued(warp)
+        self._after = warp.dynamic_id
+
+
+SCHEDULERS["lrr"] = LRRScheduler

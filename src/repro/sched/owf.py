@@ -1,0 +1,58 @@
+"""Owner Warp First — the paper's scheduler (Sec. IV-A).
+
+Priority classes: **shared owner** (0) > **unshared** (1) > **shared
+non-owner** (2).  Owner warps finish sooner so their dependent non-owner
+warps unblock; non-owner warps run only when nothing else can, so their
+memory traffic does not interfere with the rest of the SM.
+
+Within a class the policy is greedy-then-oldest.  When no shared blocks
+exist every warp is class 1 and OWF degenerates to exactly GTO — the
+paper leans on this for its Set-3 analysis ("Shared-OWF ... is similar
+to Unshared-GTO"), and our tests assert it cycle-for-cycle.
+
+Class membership is evaluated at pick time (ownership moves when locks
+are acquired or a partner block completes), so no per-class containers
+are kept.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sched.base import SCHEDULERS, WarpScheduler
+from repro.sim.warp import WarpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.warp import WarpContext
+
+__all__ = ["OWFScheduler"]
+
+
+class OWFScheduler(WarpScheduler):
+    """Owner > unshared > non-owner; greedy-then-oldest within a class."""
+
+    name = "owf"
+
+    def pick(self, cycle: int,
+             issuable: Callable[["WarpContext"], bool]
+             ) -> Optional["WarpContext"]:
+        best: Optional["WarpContext"] = None
+        best_cls = 3
+        for w in self.ready:  # id order ⇒ first hit per class is oldest
+            cls = w.owf_class()
+            if cls < best_cls and issuable(w):
+                best = w
+                best_cls = cls
+                if cls == 0:
+                    break
+        if best is None:
+            return None
+        last = self.last
+        if (last is not None and last is not best
+                and last.state is WarpState.READY and last in self.ready
+                and last.owf_class() == best_cls and issuable(last)):
+            return last  # greedy stickiness within the winning class
+        return best
+
+
+SCHEDULERS["owf"] = OWFScheduler

@@ -1,0 +1,63 @@
+"""Two-level warp scheduling (Narasiman et al., MICRO-44).
+
+Warps are partitioned into *fetch groups* of ``fetch_group_size``
+consecutive dynamic ids.  The scheduler round-robins *within* the active
+group and only moves to the next group when no warp of the active group
+can issue — so groups drift out of lockstep and long latencies are
+covered by the next group while the active one waits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sched.base import SCHEDULERS, WarpScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.warp import WarpContext
+
+__all__ = ["TwoLevelScheduler"]
+
+
+class TwoLevelScheduler(WarpScheduler):
+    """Fetch-group round robin with group switching on stall."""
+
+    name = "two_level"
+
+    def __init__(self, sched_id: int, *, fetch_group_size: int = 8,
+                 **kw: object) -> None:
+        super().__init__(sched_id, **kw)
+        if fetch_group_size < 1:
+            raise ValueError("fetch_group_size must be >= 1")
+        self.group_size = fetch_group_size
+        self._active_group = 0
+        self._after = -1
+
+    def _group_of(self, warp: "WarpContext") -> int:
+        return warp.dynamic_id // self.group_size
+
+    def pick(self, cycle: int,
+             issuable: Callable[["WarpContext"], bool]
+             ) -> Optional["WarpContext"]:
+        ready = self.ready
+        if not len(ready):
+            return None
+        # Pass 1: round-robin inside the active group.
+        for w in ready.iter_round_robin(self._after):
+            if self._group_of(w) == self._active_group and issuable(w):
+                return w
+        # Pass 2: switch to the first other group with an issuable warp
+        # (ordered by id, i.e. group age).
+        for w in ready:
+            if self._group_of(w) != self._active_group and issuable(w):
+                self._active_group = self._group_of(w)
+                return w
+        return None
+
+    def on_issued(self, warp: "WarpContext") -> None:
+        super().on_issued(warp)
+        self._after = warp.dynamic_id
+        self._active_group = self._group_of(warp)
+
+
+SCHEDULERS["two_level"] = TwoLevelScheduler

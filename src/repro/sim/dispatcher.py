@@ -1,0 +1,108 @@
+"""Grid → SM thread-block dispatch, sharing-aware.
+
+Per SM the dispatcher materialises the :class:`~repro.core.sharing.SharingPlan`
+as a fixed set of *slots*: ``U`` unshared slots plus ``S`` pairs of two
+shared slots each.  Initial fill is round-robin across SMs in grid order
+(GPGPU-Sim's behaviour).  When a block completes, the next grid block is
+launched into the freed slot — in sharing mode if the slot belongs to a
+pair, which is exactly the paper's "as soon as the owner thread block
+finishes ... a new non-owner thread block gets launched".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.sharing import SharingPlan
+from repro.isa.kernel import Kernel
+from repro.sim.block import BlockContext, SharePair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.sm import SMCore
+
+__all__ = ["Dispatcher"]
+
+
+class _Slot:
+    """One launch slot on an SM (unshared, or one side of a pair)."""
+
+    __slots__ = ("pair", "side", "block")
+
+    def __init__(self, pair: Optional[SharePair], side: int) -> None:
+        self.pair = pair
+        self.side = side
+        self.block: Optional[BlockContext] = None
+
+
+class Dispatcher:
+    """Owns grid progress and per-SM slots."""
+
+    def __init__(self, kernel: Kernel, plan: SharingPlan | None,
+                 sms: list["SMCore"], baseline_blocks: int) -> None:
+        if baseline_blocks < 1:
+            raise ValueError("baseline_blocks must be >= 1")
+        self.kernel = kernel
+        self.plan = plan
+        self.sms = sms
+        self.next_block = 0
+        self.completed = 0
+        self._slots: list[list[_Slot]] = []
+        for _ in sms:
+            slots: list[_Slot] = []
+            if plan is not None and plan.enabled:
+                for _u in range(plan.unshared):
+                    slots.append(_Slot(None, 0))
+                for _p in range(plan.pairs):
+                    pair = SharePair(plan.spec.resource,
+                                     kernel.warps_per_block)
+                    slots.append(_Slot(pair, 0))
+                    slots.append(_Slot(pair, 1))
+            else:
+                base = plan.baseline if plan is not None else baseline_blocks
+                for _u in range(base):
+                    slots.append(_Slot(None, 0))
+            self._slots.append(slots)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True when every grid block has completed."""
+        return self.completed >= self.kernel.grid_blocks
+
+    @property
+    def blocks_per_sm(self) -> int:
+        """Slots per SM (the launch capacity the plan provides)."""
+        return len(self._slots[0]) if self._slots else 0
+
+    # ------------------------------------------------------------------
+    def initial_fill(self, cycle: int = 0) -> None:
+        """Launch the initial wave, round-robin across SMs in grid order."""
+        depth = self.blocks_per_sm
+        for slot_idx in range(depth):
+            for sm in self.sms:
+                if self.next_block >= self.kernel.grid_blocks:
+                    return
+                self._launch(sm, self._slots[sm.sm_id][slot_idx], cycle)
+
+    def _launch(self, sm: "SMCore", slot: _Slot, cycle: int) -> None:
+        block = BlockContext(self.next_block, sm.sm_id,
+                             self.kernel.warps_per_block, cycle)
+        self.next_block += 1
+        slot.block = block
+        if slot.pair is not None:
+            slot.pair.attach(block, slot.side)
+            sm.wire_pair(slot.pair)
+        sm.launch_block(block, cycle)
+
+    # ------------------------------------------------------------------
+    def on_block_done(self, sm: "SMCore", block: BlockContext,
+                      cycle: int) -> None:
+        """Account a completed block and refill its slot if work remains."""
+        self.completed += 1
+        slots = self._slots[sm.sm_id]
+        slot = next(s for s in slots if s.block is block)
+        if slot.pair is not None:
+            slot.pair.detach(block)
+        slot.block = None
+        if self.next_block < self.kernel.grid_blocks:
+            self._launch(sm, slot, cycle)

@@ -1,0 +1,163 @@
+"""Top-level GPU: clock loop, cycle accounting, bulk idle skipping."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import GPUConfig
+from repro.core.dynwarp import DynWarpController
+from repro.core.liverange import SharedLiveness
+from repro.core.sharing import SharedResource, SharingPlan
+from repro.events import EventQueue
+from repro.isa.kernel import Kernel
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.request import AddressMap
+from repro.sim.dispatcher import Dispatcher
+from repro.sim.sm import SharingRuntime, SMCore
+from repro.sim.stats import RunResult
+
+__all__ = ["GPU", "SimulationLimitExceeded", "SimulationDeadlock"]
+
+
+class SimulationLimitExceeded(RuntimeError):
+    """The run exceeded ``max_cycles`` (runaway guard)."""
+
+
+class SimulationDeadlock(RuntimeError):
+    """No SM can ever issue again and no event is pending."""
+
+
+class GPU:
+    """Assembles SMs, memory and dispatcher, and runs a kernel to
+    completion.
+
+    ``plan`` selects resource sharing (None → baseline, all blocks
+    unshared); ``scheduler`` is one of ``lrr``/``gto``/``two_level``/
+    ``owf``; ``dyn`` enables the Sec. IV-C dynamic warp execution
+    controller (only meaningful with register sharing).
+    """
+
+    def __init__(self, kernel: Kernel, config: GPUConfig, *,
+                 scheduler: str = "lrr",
+                 plan: Optional[SharingPlan] = None,
+                 dyn: bool = False,
+                 early_release: bool = False,
+                 mode: str = "") -> None:
+        self.kernel = kernel
+        self.cfg = config
+        self.mode = mode or scheduler
+        self.events = EventQueue()
+        self.hierarchy = MemoryHierarchy(config, self.events, config.num_sms)
+        self.amap = AddressMap(seed=kernel.seed)
+
+        sharing_rt: Optional[SharingRuntime] = None
+        if plan is not None and plan.enabled:
+            sharing_rt = SharingRuntime(
+                resource=plan.spec.resource,
+                private_regs=plan.private_regs_per_thread,
+                private_smem=(plan.private_units
+                              if plan.spec.resource is SharedResource.SCRATCHPAD
+                              else 0),
+            )
+
+        self.dyn: Optional[DynWarpController] = None
+        if dyn and sharing_rt is not None:
+            self.dyn = DynWarpController(config.num_sms, seed=kernel.seed + 7)
+
+        liveness: Optional[SharedLiveness] = None
+        if (early_release and sharing_rt is not None
+                and sharing_rt.resource is SharedResource.REGISTERS):
+            liveness = SharedLiveness(kernel)
+
+        self.sms = [
+            SMCore(i, kernel, config, self.events, self.hierarchy, self.amap,
+                   scheduler, sharing=sharing_rt, dyn=self.dyn,
+                   liveness=liveness)
+            for i in range(config.num_sms)
+        ]
+        self.plan = plan
+        from repro.core.occupancy import occupancy as _occupancy
+        baseline = _occupancy(kernel, config).blocks
+        self.dispatcher = Dispatcher(kernel, plan, self.sms, baseline)
+        for sm in self.sms:
+            sm.dispatcher = self.dispatcher
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 2_000_000) -> RunResult:
+        """Simulate until every grid block completes."""
+        events = self.events
+        sms = self.sms
+        dispatcher = self.dispatcher
+        dyn = self.dyn
+
+        dispatcher.initial_fill(0)
+        if dyn is not None:
+            def _window(cycle: int) -> None:
+                dyn.end_window()
+                for sm in sms:
+                    sm.release_dyn_blocked(cycle)
+                events.push(cycle + dyn.period, _window)
+            events.push(dyn.period, _window)
+
+        cycle = 0
+        while not dispatcher.done:
+            events.run_due(cycle)
+            if dispatcher.done:
+                break
+            all_zero = True
+            kinds: list[str] = []
+            for sm in sms:
+                issued = sm.step(cycle)
+                if issued:
+                    sm.account("active")
+                    kinds.append("active")
+                    all_zero = False
+                else:
+                    kind = sm.classify()
+                    sm.account(kind)
+                    kinds.append(kind)
+                    if dyn is not None and kind == "stall":
+                        dyn.record_stall(sm.sm_id)
+            cycle += 1
+            if all_zero and not any(sm.has_ready() for sm in sms):
+                nxt = events.next_cycle()
+                if nxt is None:
+                    raise SimulationDeadlock(self._deadlock_report(cycle))
+                if nxt > cycle:
+                    gap = nxt - cycle
+                    for sm, kind in zip(sms, kinds):
+                        sm.account(kind, gap)
+                        if dyn is not None and kind == "stall":
+                            dyn.record_stall(sm.sm_id, gap)
+                    cycle = nxt
+            if cycle > max_cycles:
+                raise SimulationLimitExceeded(
+                    f"kernel {self.kernel.name!r} exceeded {max_cycles} cycles "
+                    f"({dispatcher.completed}/{self.kernel.grid_blocks} blocks "
+                    f"done)")
+
+        stats = [sm.stats for sm in sms]
+        return RunResult(
+            kernel=self.kernel.name,
+            mode=self.mode,
+            cycles=cycle,
+            instructions=sum(s.instructions for s in stats),
+            sm_stats=stats,
+            mem=self.hierarchy.totals(),
+            blocks_baseline=(self.plan.baseline if self.plan is not None
+                             else dispatcher.blocks_per_sm),
+            blocks_total=dispatcher.blocks_per_sm,
+        )
+
+    # ------------------------------------------------------------------
+    def _deadlock_report(self, cycle: int) -> str:
+        lines = [f"deadlock at cycle {cycle}: no ready warps, no events"]
+        for sm in self.sms:
+            states: dict[str, int] = {}
+            for w in sm.warps:
+                states[w.state.name] = states.get(w.state.name, 0) + 1
+            lines.append(f"  SM{sm.sm_id}: {states} "
+                         f"resident_blocks={sm.resident_blocks}")
+        lines.append(f"  grid: {self.dispatcher.completed}"
+                     f"/{self.kernel.grid_blocks} blocks complete")
+        return "\n".join(lines)

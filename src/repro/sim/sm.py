@@ -1,0 +1,432 @@
+"""SM core: warp contexts, dual schedulers, issue logic, cycle taxonomy.
+
+Issue model (see DESIGN.md §4): each of the SM's two schedulers issues at
+most one instruction per cycle from its warp partition
+(``dynamic_id % num_schedulers``); the two schedulers share a single
+LD/ST port (one memory instruction per SM per cycle).  Warps are in-order
+with a per-register scoreboard; ALU/SFU results are pipelined.
+
+All of the paper's run-time machinery lives in :meth:`SMCore._try_issue`:
+the Fig. 3 register access check, the Fig. 4 scratchpad access check, the
+busy-wait on shared-pool locks, and the Sec. IV-C Dyn gate for non-owner
+memory instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.config import GPUConfig
+from repro.core.dynwarp import DynWarpController
+from repro.core.liverange import SharedLiveness
+from repro.core.sharing import SharedResource
+from repro.events import EventQueue
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import Op, op_group
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.request import AddressMap, coalesce_lines
+from repro.sched.base import WarpScheduler, make_scheduler
+from repro.sim.block import BlockContext, SharePair
+from repro.sim.stats import SMStats
+from repro.sim.warp import REG_PENDING, WarpContext, WarpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.dispatcher import Dispatcher
+
+__all__ = ["SharingRuntime", "SMCore"]
+
+#: Cycles before a warp rejected by a full MSHR array retries.
+_MSHR_RETRY = 4
+
+#: Cooldown before a Dyn-refused warp retries its memory instruction (it
+#: is also released at the next monitoring-window boundary).
+_DYN_COOLDOWN = 64
+
+#: Extra cycles per additional scratchpad bank-conflict way.
+_BANK_CONFLICT = 8
+
+#: op → functional group, precomputed for the hot path.
+_GROUP: dict[Op, str] = {op: op_group(op) for op in Op}
+
+_STALL_STATES = frozenset({WarpState.BLOCK_SB, WarpState.BLOCK_MEM,
+                           WarpState.BLOCK_RETRY})
+_IDLE_STATES = frozenset({WarpState.BLOCK_BAR, WarpState.BLOCK_LOCK,
+                          WarpState.BLOCK_DYN})
+
+
+@dataclass(frozen=True)
+class SharingRuntime:
+    """Run-time sharing parameters the SM consults on every access.
+
+    ``private_regs`` — per-thread register index threshold: indices below
+    it are private (Fig. 3 step (c) compares against ``Rw·t``).
+    ``private_smem`` — scratchpad byte-offset threshold (Fig. 4 step (c)).
+    """
+
+    resource: SharedResource
+    private_regs: int
+    private_smem: int
+
+
+class SMCore:
+    """One streaming multiprocessor."""
+
+    def __init__(self, sm_id: int, kernel: Kernel, config: GPUConfig,
+                 events: EventQueue, hierarchy: MemoryHierarchy,
+                 amap: AddressMap, scheduler: str,
+                 sharing: Optional[SharingRuntime] = None,
+                 dyn: Optional[DynWarpController] = None,
+                 liveness: Optional[SharedLiveness] = None) -> None:
+        self.sm_id = sm_id
+        self.kernel = kernel
+        self.cfg = config
+        self.lat = config.latency
+        self.events = events
+        self.hierarchy = hierarchy
+        self.amap = amap
+        self.sharing = sharing
+        self.dyn = dyn
+        #: Live-range tables for the early-release extension (None = off).
+        self.liveness = liveness
+        self.schedulers: list[WarpScheduler] = [
+            make_scheduler(scheduler, i,
+                           fetch_group_size=config.fetch_group_size)
+            for i in range(config.num_schedulers)
+        ]
+        self.stats = SMStats(sm_id=sm_id)
+        self.warps: list[WarpContext] = []
+        self.resident_blocks = 0
+        self.dispatcher: Optional["Dispatcher"] = None
+        self.now = 0
+        self._next_warp_id = 0
+        self._mem_port_free = True
+        self._lock_blocked: list[WarpContext] = []
+        self._dyn_blocked: list[WarpContext] = []
+
+    # ------------------------------------------------------------------
+    # block/warp lifecycle
+    # ------------------------------------------------------------------
+    def wire_pair(self, pair: SharePair) -> None:
+        """Point the pair's lock-release callback at this SM."""
+        if pair.reg_group is not None:
+            pair.reg_group.on_release = self._on_lock_release
+        if pair.spad_group is not None:
+            pair.spad_group.on_release = self._on_lock_release
+
+    def launch_block(self, block: BlockContext, cycle: int) -> None:
+        """Create and enqueue the block's warps."""
+        for slot in range(block.n_warps):
+            w = WarpContext(self._next_warp_id, slot, block, self.kernel)
+            self._next_warp_id += 1
+            block.warps.append(w)
+            self.warps.append(w)
+            self._sched_of(w).on_ready(w)
+        self.resident_blocks += 1
+        self.stats.blocks_launched += 1
+        if self.resident_blocks > self.stats.max_resident_blocks:
+            self.stats.max_resident_blocks = self.resident_blocks
+
+    def _sched_of(self, warp: WarpContext) -> WarpScheduler:
+        return self.schedulers[warp.dynamic_id % len(self.schedulers)]
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def _set_state(self, warp: WarpContext, state: WarpState) -> None:
+        old = warp.state
+        if old is state:
+            return
+        if old is WarpState.READY:
+            self._sched_of(warp).on_unready(warp)
+        elif state is WarpState.READY:
+            self._sched_of(warp).on_ready(warp)
+        warp.state = state
+        warp.wake_token += 1
+
+    def _timed_wake(self, warp: WarpContext, at: int,
+                    expected: WarpState) -> None:
+        token = warp.wake_token
+
+        def _fire(cycle: int) -> None:
+            if warp.wake_token == token and warp.state is expected:
+                self.now = cycle
+                self._update_readiness(warp, cycle)
+
+        self.events.push(at, _fire)
+
+    def _update_readiness(self, warp: WarpContext, cycle: int) -> None:
+        """Re-derive a warp's scoreboard wait state for its next instr."""
+        e = warp.earliest_issue()
+        if e >= REG_PENDING:
+            self._set_state(warp, WarpState.BLOCK_MEM)
+        elif e <= cycle + 1:
+            self._set_state(warp, WarpState.READY)
+        else:
+            self._set_state(warp, WarpState.BLOCK_SB)
+            self._timed_wake(warp, e, WarpState.BLOCK_SB)
+
+    # ------------------------------------------------------------------
+    # wake paths
+    # ------------------------------------------------------------------
+    def _on_load_done(self, warp: WarpContext, dst: tuple[int, ...],
+                      cycle: int) -> None:
+        self.now = cycle
+        for r in dst:
+            warp.reg_ready[r] = cycle
+        warp.outstanding_loads -= 1
+        if warp.state is WarpState.BLOCK_MEM:
+            self._update_readiness(warp, cycle)
+
+    def _on_lock_release(self) -> None:
+        """A shared pool was released: retry every lock-blocked warp."""
+        if not self._lock_blocked:
+            return
+        waiters, self._lock_blocked = self._lock_blocked, []
+        for w in waiters:
+            if w.state is WarpState.BLOCK_LOCK:
+                self._update_readiness(w, self.now)
+
+    def release_dyn_blocked(self, cycle: int) -> None:
+        """Dyn monitoring window ended: unblock refused warps."""
+        self.now = cycle
+        waiters, self._dyn_blocked = self._dyn_blocked, []
+        for w in waiters:
+            if w.state is WarpState.BLOCK_DYN:
+                self._update_readiness(w, cycle)
+
+    # ------------------------------------------------------------------
+    # per-cycle issue
+    # ------------------------------------------------------------------
+    def has_ready(self) -> bool:
+        """True if any scheduler has a READY warp."""
+        return any(len(s.ready) for s in self.schedulers)
+
+    def _issuable(self, warp: WarpContext) -> bool:
+        g = _GROUP[warp.current_instr.op]
+        if g == "global" or g == "shared":
+            return self._mem_port_free
+        return True
+
+    def step(self, cycle: int) -> int:
+        """Run one SM cycle; returns instructions issued (0..2)."""
+        self.now = cycle
+        self._mem_port_free = True
+        issued = 0
+        for sched in self.schedulers:
+            while True:
+                w = sched.pick(cycle, self._issuable)
+                if w is None:
+                    break
+                if self._try_issue(w, cycle, sched):
+                    issued += 1
+                    break
+                # otherwise the warp blocked and left the ready list;
+                # give the scheduler another chance this cycle.
+        return issued
+
+    # ------------------------------------------------------------------
+    def _try_issue(self, warp: WarpContext, cycle: int,
+                   sched: WarpScheduler) -> bool:
+        ins = warp.current_instr
+        grp = _GROUP[ins.op]
+        block = warp.block
+        pair = block.pair
+        stats = self.stats
+
+        # --- Dyn gate (Sec. IV-C): non-owner global memory only ---
+        if (self.dyn is not None and grp == "global" and pair is not None
+                and warp.owf_class() == 2):
+            if not self.dyn.allow(self.sm_id):
+                stats.dyn_refusals += 1
+                self._set_state(warp, WarpState.BLOCK_DYN)
+                self._dyn_blocked.append(warp)
+                self._timed_wake(warp, cycle + _DYN_COOLDOWN,
+                                 WarpState.BLOCK_DYN)
+                return False
+
+        # --- register sharing access check (Fig. 3) ---
+        if (self.sharing is not None
+                and self.sharing.resource is SharedResource.REGISTERS
+                and pair is not None):
+            pr = self.sharing.private_regs
+            if any(r >= pr for r in ins.regs):
+                g = pair.reg_group
+                assert g is not None
+                if not g.holds(block.side, warp.slot):
+                    if g.try_acquire(block.side, warp.slot):
+                        stats.lock_acquires += 1
+                        pair.note_acquired(block.side)
+                    else:
+                        stats.lock_waits += 1
+                        self._set_state(warp, WarpState.BLOCK_LOCK)
+                        self._lock_blocked.append(warp)
+                        return False
+
+        # --- scratchpad sharing access check (Fig. 4) ---
+        smem_off = 0
+        if grp == "shared":
+            m = ins.mem
+            assert m is not None
+            smem_off = (m.offset if m.wrap == 0
+                        else (m.offset + warp.iter_idx * m.stride) % m.wrap)
+            if (self.sharing is not None
+                    and self.sharing.resource is SharedResource.SCRATCHPAD
+                    and pair is not None
+                    and smem_off >= self.sharing.private_smem):
+                g = pair.spad_group
+                assert g is not None
+                if not g.holds(block.side):
+                    if g.try_acquire(block.side):
+                        stats.lock_acquires += 1
+                        pair.note_acquired(block.side)
+                    else:
+                        stats.lock_waits += 1
+                        self._set_state(warp, WarpState.BLOCK_LOCK)
+                        self._lock_blocked.append(warp)
+                        return False
+
+        # --- execute side effects ---
+        if grp == "global":
+            m = ins.mem
+            assert m is not None
+            lines = coalesce_lines(
+                m, self.amap, block_linear=block.linear_id,
+                warp_in_block=warp.slot, warps_per_block=block.n_warps,
+                iter_idx=warp.iter_idx, line_size=self.cfg.line_size,
+                seed=self.kernel.seed)
+            if ins.op is Op.LDG:
+                dst = ins.dst
+                on_done: Callable[[int], None] = (
+                    lambda c, w=warp, d=dst: self._on_load_done(w, d, c))
+                if not self.hierarchy.try_load(self.sm_id, lines, cycle,
+                                               on_done):
+                    stats.mshr_stalls += 1
+                    self._set_state(warp, WarpState.BLOCK_RETRY)
+                    self._timed_wake(warp, cycle + _MSHR_RETRY,
+                                     WarpState.BLOCK_RETRY)
+                    return False
+                for r in dst:
+                    warp.reg_ready[r] = REG_PENDING
+                warp.outstanding_loads += 1
+            else:
+                self.hierarchy.store(self.sm_id, lines, cycle)
+            self._mem_port_free = False
+            stats.mem_instructions += 1
+        elif grp == "shared":
+            m = ins.mem
+            assert m is not None
+            # An n-way bank conflict serialises into n bank accesses.
+            lat = self.lat.scratchpad + (m.conflicts - 1) * _BANK_CONFLICT
+            for r in ins.dst:
+                warp.reg_ready[r] = cycle + lat
+            self._mem_port_free = False
+            stats.mem_instructions += 1
+        elif grp == "alu":
+            for r in ins.dst:
+                warp.reg_ready[r] = cycle + self.lat.alu
+        elif grp == "sfu":
+            for r in ins.dst:
+                warp.reg_ready[r] = cycle + self.lat.sfu
+
+        # --- retire bookkeeping ---
+        warp.issued += 1
+        stats.instructions += 1
+        cls = warp.owf_class()
+        if cls == 0:
+            stats.issued_owner += 1
+        elif cls == 1:
+            stats.issued_unshared += 1
+        else:
+            stats.issued_nonowner += 1
+        sched.on_issued(warp)
+
+        if grp == "exit":
+            self._finish_warp(warp, cycle)
+            return True
+
+        warp.advance()
+        if self.liveness is not None:
+            self._maybe_early_release(warp)
+
+        if grp == "bar":
+            block.bar_count += 1
+            if block.bar_count == block.n_warps:
+                block.bar_count = 0
+                stats.barriers += 1
+                for w2 in block.warps:
+                    if w2.state is WarpState.BLOCK_BAR:
+                        self._update_readiness(w2, cycle)
+                self._update_readiness(warp, cycle)
+            else:
+                self._set_state(warp, WarpState.BLOCK_BAR)
+            return True
+
+        self._update_readiness(warp, cycle)
+        return True
+
+    # ------------------------------------------------------------------
+    def _maybe_early_release(self, warp: WarpContext) -> None:
+        """Live-range extension (paper Sec. VIII): hand the shared pool to
+        the partner warp as soon as this warp provably stops needing it."""
+        if warp.shared_done:
+            return
+        pair = warp.block.pair
+        if pair is None or pair.reg_group is None or self.sharing is None:
+            return
+        seg, rep, pc = warp.trace_position
+        assert self.liveness is not None
+        if self.liveness.done_with_shared(seg, rep, pc, warp.repeats,
+                                          self.sharing.private_regs):
+            warp.shared_done = True
+            if pair.reg_group.holds(warp.block.side, warp.slot):
+                self.stats.early_releases += 1
+            pair.reg_group.warp_finished(warp.block.side, warp.slot)
+
+    def _finish_warp(self, warp: WarpContext, cycle: int) -> None:
+        self._set_state(warp, WarpState.FINISHED)
+        block = warp.block
+        block.active_warps -= 1
+        pair = block.pair
+        if pair is not None and pair.reg_group is not None:
+            # Paper Sec. III-A: the shared pool passes to the partner
+            # warp the moment its holder finishes.
+            pair.reg_group.warp_finished(block.side, warp.slot)
+        if block.active_warps == 0:
+            self._complete_block(block, cycle)
+
+    def _complete_block(self, block: BlockContext, cycle: int) -> None:
+        self.now = cycle
+        self.stats.blocks_completed += 1
+        self.resident_blocks -= 1
+        for w in block.warps:
+            self.warps.remove(w)
+        assert self.dispatcher is not None
+        # detach (inside on_block_done) releases the scratchpad lock and
+        # wakes partner warps; then the slot is refilled.
+        self.dispatcher.on_block_done(self, block, cycle)
+
+    # ------------------------------------------------------------------
+    # cycle taxonomy (paper Fig. 9 metrics)
+    # ------------------------------------------------------------------
+    def classify(self) -> str:
+        """Classify a no-issue cycle as 'stall', 'idle' or 'empty'."""
+        saw_warp = False
+        for w in self.warps:
+            st = w.state
+            if st in _STALL_STATES:
+                return "stall"
+            if st is not WarpState.FINISHED:
+                saw_warp = True
+        return "idle" if saw_warp else "empty"
+
+    def account(self, kind: str, n: int = 1) -> None:
+        """Add ``n`` cycles of class ``kind`` to the counters."""
+        if kind == "active":
+            self.stats.active_cycles += n
+        elif kind == "stall":
+            self.stats.stall_cycles += n
+        elif kind == "idle":
+            self.stats.idle_cycles += n
+        else:
+            self.stats.empty_cycles += n

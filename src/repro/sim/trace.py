@@ -1,0 +1,126 @@
+"""Issue-trace recording for debugging and teaching.
+
+Wraps an :class:`~repro.sim.gpu.GPU` so that every instruction issue is
+recorded as a :class:`TraceEvent`.  The recorder hooks the SMs'
+``_try_issue`` non-invasively (the hot path stays untouched when tracing
+is off) and offers simple queries plus a compact textual timeline —
+useful for demonstrating, e.g., exactly when a non-owner warp blocks on
+a shared pool and when the handoff wakes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sim.gpu import GPU
+from repro.sim.sm import SMCore
+from repro.sim.stats import RunResult
+from repro.sim.warp import WarpContext
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One issued instruction."""
+
+    cycle: int
+    sm: int
+    warp: int
+    block: int
+    slot: int
+    op: str
+    #: 0 owner / 1 unshared / 2 non-owner at issue time.
+    warp_class: int
+
+
+class TraceRecorder:
+    """Record every issue of a GPU run.
+
+    Usage::
+
+        gpu = GPU(kernel, cfg, plan=plan)
+        trace = TraceRecorder(gpu)
+        result = trace.run()
+        print(trace.timeline(sm=0, first=40))
+    """
+
+    def __init__(self, gpu: GPU, *, max_events: int = 1_000_000) -> None:
+        self.gpu = gpu
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self._truncated = False
+        for sm in gpu.sms:
+            self._hook(sm)
+
+    def _hook(self, sm: SMCore) -> None:
+        original = sm._try_issue
+
+        def traced(warp: WarpContext, cycle: int, sched) -> bool:
+            # class and block must be sampled before the issue: an EXIT
+            # can complete the block and detach its pair.
+            cls = warp.owf_class() if warp.block.pair is not None else 1
+            block_id = warp.block.linear_id
+            ok = original(warp, cycle, sched)
+            if ok:
+                if len(self.events) < self.max_events:
+                    self.events.append(TraceEvent(
+                        cycle=cycle, sm=sm.sm_id, warp=warp.dynamic_id,
+                        block=block_id, slot=warp.slot,
+                        op=self._last_op(warp), warp_class=cls))
+                else:
+                    self._truncated = True
+            return ok
+
+        sm._try_issue = traced  # type: ignore[method-assign]
+
+    @staticmethod
+    def _last_op(warp: WarpContext) -> str:
+        # after a successful issue the pointer moved; for EXIT it did not.
+        from repro.sim.warp import WarpState
+        if warp.state is WarpState.FINISHED:
+            return "EXIT"
+        seg, rep, pc = warp.trace_position
+        k = warp.kernel
+        # step back one instruction
+        if pc > 0:
+            return k.segments[seg].instrs[pc - 1].op.name
+        if rep > 0 or seg == 0:
+            s = k.segments[seg if rep > 0 else max(seg - 1, 0)]
+            return s.instrs[-1].op.name
+        return k.segments[seg - 1].instrs[-1].op.name
+
+    # ------------------------------------------------------------------
+    def run(self, **kw) -> RunResult:
+        """Run the wrapped GPU and return its result."""
+        return self.gpu.run(**kw)
+
+    @property
+    def truncated(self) -> bool:
+        """True if the event cap was hit (trace is a prefix)."""
+        return self._truncated
+
+    # ------------------------------------------------------------------
+    def for_sm(self, sm: int) -> list[TraceEvent]:
+        """Events of one SM, in issue order."""
+        return [e for e in self.events if e.sm == sm]
+
+    def for_warp(self, sm: int, warp: int) -> list[TraceEvent]:
+        """Events of one warp."""
+        return [e for e in self.events if e.sm == sm and e.warp == warp]
+
+    def issue_gaps(self, sm: int, warp: int) -> list[int]:
+        """Cycle gaps between consecutive issues of one warp — long gaps
+        are stalls (memory, locks, barriers)."""
+        ev = self.for_warp(sm, warp)
+        return [b.cycle - a.cycle for a, b in zip(ev, ev[1:])]
+
+    def timeline(self, sm: int = 0, first: int = 50) -> str:
+        """Compact textual timeline of one SM's first ``first`` issues."""
+        cls_tag = {0: "OWN", 1: "UNS", 2: "NON"}
+        lines = [f"cycle  warp blk slot cls  op  (SM{sm})"]
+        for e in self.for_sm(sm)[:first]:
+            lines.append(f"{e.cycle:6d} w{e.warp:<3d} b{e.block:<3d} "
+                         f"s{e.slot:<2d} {cls_tag[e.warp_class]} {e.op}")
+        return "\n".join(lines)

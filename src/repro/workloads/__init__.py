@@ -1,0 +1,14 @@
+"""Synthetic benchmark applications.
+
+One application per row of the paper's Tables II (register-limited),
+III (scratchpad-limited) and IV (thread/block-limited).  Each app matches
+the paper's *resource signature* exactly (threads/block, registers/thread,
+scratchpad bytes/block — these drive every occupancy and sharing
+decision) and approximates the qualitative behaviour class the paper
+describes (compute-bound, divergent-memory, cache-sensitive, ...).
+"""
+
+from repro.workloads.apps import App, build_app, APPS
+from repro.workloads.suites import SET1, SET2, SET3, suite_apps
+
+__all__ = ["App", "build_app", "APPS", "SET1", "SET2", "SET3", "suite_apps"]

@@ -1,0 +1,26 @@
+"""Benchmark set registries (paper Tables II, III, IV)."""
+
+from __future__ import annotations
+
+from repro.workloads.apps import APPS, App
+
+__all__ = ["SET1", "SET2", "SET3", "suite_apps"]
+
+#: Set-1: register-limited applications (Table II), in paper order.
+SET1: tuple[str, ...] = ("backprop", "b+tree", "hotspot", "LIB", "MUM",
+                         "mri-q", "sgemm", "stencil")
+
+#: Set-2: scratchpad-limited applications (Table III).
+SET2: tuple[str, ...] = ("CONV1", "CONV2", "lavaMD", "NW1", "NW2",
+                         "SRAD1", "SRAD2")
+
+#: Set-3: thread/block-limited applications (Table IV).
+SET3: tuple[str, ...] = ("backprop-lf", "BFS", "gaussian", "NN")
+
+
+def suite_apps(set_id: int) -> list[App]:
+    """Return the :class:`App` objects of one benchmark set."""
+    names = {1: SET1, 2: SET2, 3: SET3}.get(set_id)
+    if names is None:
+        raise ValueError("set_id must be 1, 2 or 3")
+    return [APPS[n] for n in names]

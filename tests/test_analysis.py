@@ -1,0 +1,73 @@
+"""Static kernel analysis module."""
+
+import pytest
+
+from repro.analysis import analyze, format_analysis
+from repro.config import GPUConfig
+from repro.harness.extensions import tail_heavy_kernel
+from repro.isa.builder import KernelBuilder
+from repro.workloads.apps import APPS
+
+
+class TestAnalyze:
+    def test_hotspot_profile(self):
+        a = analyze(APPS["hotspot"].kernel())
+        assert a.name == "hotspot"
+        assert a.threads_per_block == 256
+        assert a.warps_per_block == 8
+        assert a.regs_per_block == 9216
+        assert a.occupancy.blocks == 3
+        assert a.register_plan.total == 6
+        assert a.dynamic_per_warp == \
+            APPS["hotspot"].kernel().dynamic_count
+
+    def test_mix_sums_to_total(self):
+        a = analyze(APPS["MUM"].kernel())
+        assert sum(a.mix.values()) == a.dynamic_per_warp
+        assert a.mix["exit"] == 1
+
+    def test_mem_fraction(self):
+        b = KernelBuilder("m", block_size=64, regs=8)
+        b.ldg(footprint=4096)
+        b.alu_indep(3)
+        a = analyze(b.build())
+        assert a.mem_fraction == pytest.approx(1 / 5)
+
+    def test_prefix_improves_with_unroll_for_sgemm(self):
+        a = analyze(APPS["sgemm"].kernel())
+        assert a.prefix_after_unroll >= a.prefix_before_unroll
+
+    def test_shared_free_tail_detected(self):
+        a = analyze(tail_heavy_kernel())
+        # the ALU tail plus trailing store/exit never touch shared regs
+        assert a.shared_free_tail > 40
+
+    def test_loop_kernel_has_tiny_tail(self):
+        a = analyze(APPS["hotspot"].kernel())
+        # shared registers live until the last loop iteration
+        assert a.shared_free_tail <= 4
+
+    def test_threshold_parameter(self):
+        k = APPS["hotspot"].kernel()
+        a50 = analyze(k, t=0.5)
+        a10 = analyze(k, t=0.1)
+        assert a50.register_plan.private_regs_per_thread == 18
+        assert a10.register_plan.private_regs_per_thread == 3
+
+    def test_custom_config(self):
+        cfg = GPUConfig().scaled(max_blocks_per_sm=2)
+        a = analyze(APPS["CONV1"].kernel(), config=cfg)
+        assert a.occupancy.blocks == 2
+
+
+class TestFormat:
+    def test_report_mentions_key_facts(self):
+        text = format_analysis(analyze(APPS["hotspot"].kernel()))
+        assert "hotspot" in text
+        assert "3 blocks/SM" in text
+        assert "register sharing:   6 blocks" in text
+        assert "non-owner prefix" in text
+
+    @pytest.mark.parametrize("name", ["backprop", "lavaMD", "BFS"])
+    def test_all_apps_format(self, name):
+        assert format_analysis(analyze(APPS[name].kernel()))

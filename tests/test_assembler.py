@@ -1,0 +1,131 @@
+"""Assembler / disassembler round-trips and error reporting."""
+
+import pytest
+
+from repro.isa.assembler import AsmError, assemble, disassemble
+from repro.isa.opcodes import MemSpace, Op, Pattern
+from repro.workloads.apps import APPS
+
+SAMPLE = """
+.kernel forces
+.block 192
+.regs 40
+.smem 3072
+.grid 64
+.seed 7
+.variance 0.30
+
+ldg   r5, g[positions : 131072 : shared]     ; gather
+sts   s[0 : 128 : 3072], r5
+bar
+.loop 40
+    ldg  r6, g[neighbors : 98304 : shared : strided : 2]
+    ffma r7, r6
+    fadd r8, r7
+    lds  r9, s[0 : 96 : 3072]
+.endloop
+stg   g[out : 131072], r8
+exit
+"""
+
+
+class TestAssemble:
+    def test_metadata(self):
+        k = assemble(SAMPLE)
+        assert k.name == "forces"
+        assert k.threads_per_block == 192
+        assert k.regs_per_thread == 40
+        assert k.smem_per_block == 3072
+        assert k.grid_blocks == 64
+        assert k.seed == 7
+        assert k.work_variance == pytest.approx(0.30)
+
+    def test_structure(self):
+        k = assemble(SAMPLE)
+        assert [s.repeat for s in k.segments] == [1, 40, 1]
+        assert k.segments[0].instrs[0].op is Op.LDG
+        assert k.static_instrs[-1].op is Op.EXIT
+
+    def test_global_operand(self):
+        k = assemble(SAMPLE)
+        m = k.segments[1].instrs[0].mem
+        assert m.space is MemSpace.GLOBAL
+        assert m.region == "neighbors"
+        assert m.footprint == 98304
+        assert not m.block_private
+        assert m.pattern is Pattern.STRIDED
+        assert m.txn == 2
+
+    def test_shared_operand(self):
+        k = assemble(SAMPLE)
+        m = k.segments[0].instrs[1].mem
+        assert m.space is MemSpace.SHARED
+        assert (m.offset, m.stride, m.wrap) == (0, 128, 3072)
+
+    def test_exit_appended_if_missing(self):
+        k = assemble(".regs 4\nfadd r0, r1\n")
+        assert k.static_instrs[-1].op is Op.EXIT
+
+    def test_comments_and_blanks_ignored(self):
+        k = assemble("# c\n.regs 4\n\nfadd r0, r1  ; trailing\n")
+        assert k.dynamic_count == 2
+
+    def test_multi_src_alu(self):
+        k = assemble(".regs 8\nffma r0, r1, r2\n")
+        assert k.static_instrs[0].src == (1, 2)
+
+    def test_sim_integration(self):
+        from repro.config import GPUConfig
+        from repro.sim.gpu import GPU
+        k = assemble(".regs 6\n.block 64\n.loop 3\nfadd r0, r1\n.endloop\n")
+        r = GPU(k.with_grid(2), GPUConfig().scaled(num_clusters=1)).run()
+        assert r.instructions == 4 * 2 * 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text,frag", [
+        ("bogus r0, r1", "unknown instruction"),
+        (".loop 2\nfadd r0, r1\n", "unterminated"),
+        (".endloop", ".endloop without"),
+        (".loop 2\n.loop 2\n", "nest"),
+        ("ldg r0", "ldg needs"),
+        ("ldg x0, g[a : 64]", "expected register"),
+        ("ldg r0, h[a : 64]", "expected g"),
+        ("ldg r0, g[a]", "at least region"),
+        ("ldg r0, g[a : x]", "bad footprint"),
+        ("ldg r0, g[a : 64 : wiggly]", "unknown g[] qualifier"),
+        ("lds r0, s[1 : 2]", "offset or offset:stride:wrap"),
+        (".variance many", ".variance needs a float"),
+        (".block lots", ".block needs an integer"),
+        (".weird 3", "unknown directive"),
+        (".loop 2\nexit\n.endloop", "exit inside a loop"),
+        (".regs 2\nfadd r5, r1", "validation failed"),
+    ])
+    def test_error_cases(self, text, frag):
+        with pytest.raises(AsmError) as e:
+            assemble(text)
+        assert frag in str(e.value)
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(AsmError) as e:
+            assemble(".regs 4\n\nbogus r0\n")
+        assert e.value.lineno == 3
+
+
+class TestRoundTrip:
+    def test_sample_round_trip(self):
+        k = assemble(SAMPLE)
+        k2 = assemble(disassemble(k))
+        assert k2 == k
+
+    @pytest.mark.parametrize("name", ["hotspot", "MUM", "lavaMD", "NW1",
+                                      "sgemm", "BFS"])
+    def test_workload_round_trip(self, name):
+        k = APPS[name].kernel()
+        assert assemble(disassemble(k)) == k
+
+    def test_disassembly_is_readable(self):
+        text = disassemble(APPS["hotspot"].kernel())
+        assert ".kernel hotspot" in text
+        assert ".loop" in text
+        assert "ldg" in text

@@ -1,0 +1,75 @@
+"""Command-line interfaces (``python -m repro`` and ``-m repro.harness``)."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.harness.__main__ import main as harness_main
+
+
+class TestReproCli:
+    def test_list(self, capsys):
+        assert repro_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot" in out and "shared-reg" in out
+
+    def test_analyze_app(self, capsys):
+        assert repro_main(["analyze", "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "3 blocks/SM" in out
+
+    def test_analyze_threshold(self, capsys):
+        assert repro_main(["analyze", "hotspot", "-t", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "private regs/thread 18" in out
+
+    def test_disasm(self, capsys):
+        assert repro_main(["disasm", "lavaMD"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel lavaMD" in out and ".loop" in out
+
+    def test_disasm_file_round_trip(self, tmp_path, capsys):
+        repro_main(["disasm", "NW1"])
+        text = capsys.readouterr().out
+        f = tmp_path / "nw1.kasm"
+        f.write_text(text)
+        assert repro_main(["analyze", str(f)]) == 0
+        assert "NW1" in capsys.readouterr().out
+
+    def test_run_smoke(self, capsys):
+        assert repro_main(["run", "gaussian", "--clusters", "1",
+                           "--scale", "0.2", "--waves", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "cycles" in out
+
+    def test_unknown_app_errors(self):
+        with pytest.raises(SystemExit):
+            repro_main(["analyze", "nosuchapp"])
+
+
+class TestHarnessCli:
+    def test_single_experiment(self, capsys):
+        assert harness_main(["hw_overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "register_sharing_bits_per_sm" in out
+
+    def test_fig1(self, capsys):
+        assert harness_main(["fig1", "--clusters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            harness_main(["fig99"])
+
+
+class TestTraceCli:
+    def test_trace_timeline(self, capsys):
+        assert repro_main(["trace", "gaussian", "--first", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out and "IPC" in out
+
+    def test_trace_sharing_mode(self, capsys):
+        assert repro_main(["trace", "hotspot", "--mode",
+                           "shared-reg-noopt", "--first", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "OWN" in out or "NON" in out

@@ -1,0 +1,88 @@
+"""Dispatcher slot management and sharing-aware refill."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
+from repro.isa.builder import KernelBuilder
+from repro.sim.gpu import GPU
+
+CFG1 = GPUConfig().scaled(num_clusters=1)
+CFG2 = GPUConfig().scaled(num_clusters=2)
+
+
+def kernel(grid, block_size=256, regs=36, loops=3):
+    b = KernelBuilder("d", block_size=block_size, regs=regs,
+                      alloc="low_first")
+    with b.loop(loops):
+        b.alu_indep(2)
+    return b.build().with_grid(grid)
+
+
+class TestBaseline:
+    def test_capacity_is_baseline_occupancy(self):
+        gpu = GPU(kernel(10), CFG1)
+        assert gpu.dispatcher.blocks_per_sm == 3  # hotspot geometry
+
+    def test_initial_fill_round_robin(self):
+        gpu = GPU(kernel(4), CFG2)
+        gpu.dispatcher.initial_fill(0)
+        # 4 blocks over 2 SMs: 2 each, interleaved by grid id
+        ids0 = sorted(b.linear_id for sm in [gpu.sms[0]]
+                      for w in sm.warps for b in [w.block])
+        assert set(ids0) == {0, 2}
+
+    def test_grid_smaller_than_capacity(self):
+        gpu = GPU(kernel(1), CFG2)
+        r = gpu.run()
+        assert gpu.dispatcher.completed == 1
+        assert r.max_resident_blocks == 1
+
+    def test_refill_keeps_sm_full(self):
+        gpu = GPU(kernel(12, loops=8), CFG1)
+        r = gpu.run()
+        assert r.max_resident_blocks == 3
+        assert gpu.dispatcher.completed == 12
+
+    def test_done_property(self):
+        gpu = GPU(kernel(2), CFG1)
+        assert not gpu.dispatcher.done
+        gpu.run()
+        assert gpu.dispatcher.done
+
+
+class TestSharing:
+    def _gpu(self, grid):
+        k = kernel(grid, loops=4)
+        plan = plan_sharing(k, CFG1, SharingSpec(SharedResource.REGISTERS,
+                                                 0.1))
+        return GPU(k, CFG1, plan=plan)
+
+    def test_capacity_matches_plan(self):
+        gpu = self._gpu(12)
+        assert gpu.dispatcher.blocks_per_sm == 6
+
+    def test_pairs_attached(self):
+        gpu = self._gpu(12)
+        gpu.dispatcher.initial_fill(0)
+        paired = [w.block for sm in gpu.sms for w in sm.warps
+                  if w.block.pair is not None]
+        assert paired  # hotspot geometry: all blocks paired (U=0)
+        for blk in paired:
+            assert blk.pair.blocks[blk.side] is blk
+
+    def test_refill_into_pair_side(self):
+        gpu = self._gpu(14)
+        gpu.run()
+        assert gpu.dispatcher.completed == 14
+
+    def test_pair_detached_on_completion(self):
+        gpu = self._gpu(6)
+        gpu.run()
+        for sm in gpu.sms:
+            assert sm.resident_blocks == 0
+
+    def test_baseline_blocks_positive_required(self):
+        from repro.sim.dispatcher import Dispatcher
+        with pytest.raises(ValueError):
+            Dispatcher(kernel(2), None, [], 0)

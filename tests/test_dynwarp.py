@@ -1,0 +1,113 @@
+"""Sec. IV-C dynamic warp execution controller."""
+
+import pytest
+
+from repro.core.dynwarp import DynWarpController
+
+
+class TestInit:
+    def test_sm0_pinned_to_zero(self):
+        c = DynWarpController(4)
+        assert c.p[0] == 0.0
+        assert c.p[1:] == [1.0, 1.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynWarpController(0)
+        with pytest.raises(ValueError):
+            DynWarpController(2, period=0)
+        with pytest.raises(ValueError):
+            DynWarpController(2, step=0.0)
+
+    def test_paper_defaults(self):
+        c = DynWarpController(14)
+        assert c.period == 1000
+        assert c.step == 0.1
+
+
+class TestAllow:
+    def test_sm0_never_allows(self):
+        c = DynWarpController(2)
+        assert not any(c.allow(0) for _ in range(100))
+
+    def test_p1_always_allows(self):
+        c = DynWarpController(2)
+        assert all(c.allow(1) for _ in range(100))
+
+    def test_fractional_p_is_probabilistic(self):
+        c = DynWarpController(2)
+        c.p[1] = 0.5
+        outcomes = [c.allow(1) for _ in range(400)]
+        assert 100 < sum(outcomes) < 300
+
+    def test_deterministic_across_instances(self):
+        a = DynWarpController(3, seed=9)
+        b = DynWarpController(3, seed=9)
+        a.p[1] = b.p[1] = 0.3
+        assert [a.allow(1) for _ in range(50)] == \
+            [b.allow(1) for _ in range(50)]
+
+
+class TestWindow:
+    def test_more_stalls_than_sm0_decreases_p(self):
+        c = DynWarpController(2)
+        c.record_stall(1, 10)
+        c.end_window()
+        assert c.p[1] == pytest.approx(0.9)
+
+    def test_fewer_stalls_than_sm0_increases_p(self):
+        c = DynWarpController(2)
+        c.p[1] = 0.5
+        c.record_stall(0, 10)
+        c.end_window()
+        assert c.p[1] == pytest.approx(0.6)
+
+    def test_equal_stalls_unchanged(self):
+        c = DynWarpController(2)
+        c.p[1] = 0.5
+        c.record_stall(0, 7)
+        c.record_stall(1, 7)
+        c.end_window()
+        assert c.p[1] == pytest.approx(0.5)
+
+    def test_saturates_at_zero(self):
+        c = DynWarpController(2)
+        for _ in range(15):
+            c.record_stall(1, 5)
+            c.end_window()
+        assert c.p[1] == 0.0
+
+    def test_saturates_at_one(self):
+        c = DynWarpController(2)
+        for _ in range(5):
+            c.record_stall(0, 5)
+            c.end_window()
+        assert c.p[1] == 1.0
+
+    def test_sm0_stays_pinned(self):
+        c = DynWarpController(3)
+        for _ in range(5):
+            c.record_stall(0, 100)
+            c.end_window()
+        assert c.p[0] == 0.0
+
+    def test_window_counters_reset(self):
+        c = DynWarpController(2)
+        c.record_stall(1, 10)
+        c.end_window()
+        p_after_first = c.p[1]
+        c.end_window()  # no stalls recorded: both zero -> unchanged
+        assert c.p[1] == p_after_first
+
+    def test_next_window_advances(self):
+        c = DynWarpController(2, period=500)
+        assert c.next_window_end == 500
+        c.end_window()
+        assert c.next_window_end == 1000
+
+    def test_step_bounds_in_unit_interval(self):
+        c = DynWarpController(4)
+        for i in range(30):
+            c.record_stall(i % 4, i)
+            c.end_window()
+            assert all(0.0 <= p <= 1.0 for p in c.p)

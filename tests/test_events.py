@@ -1,0 +1,78 @@
+"""Event queue determinism and ordering."""
+
+import pytest
+
+from repro.events import EventQueue
+
+
+class TestOrdering:
+    def test_fires_in_cycle_order(self):
+        ev = EventQueue()
+        out = []
+        ev.push(5, lambda c: out.append("a"))
+        ev.push(2, lambda c: out.append("b"))
+        ev.push(9, lambda c: out.append("c"))
+        ev.run_due(10)
+        assert out == ["b", "a", "c"]
+
+    def test_same_cycle_insertion_order(self):
+        ev = EventQueue()
+        out = []
+        for tag in "abcde":
+            ev.push(3, lambda c, t=tag: out.append(t))
+        ev.run_due(3)
+        assert out == list("abcde")
+
+    def test_run_due_respects_boundary(self):
+        ev = EventQueue()
+        out = []
+        ev.push(4, lambda c: out.append(4))
+        ev.push(5, lambda c: out.append(5))
+        assert ev.run_due(4) == 1
+        assert out == [4]
+        assert ev.next_cycle() == 5
+
+    def test_cascading_events_same_cycle(self):
+        ev = EventQueue()
+        out = []
+
+        def first(c):
+            out.append("first")
+            ev.push(c, lambda c2: out.append("second"))
+
+        ev.push(1, first)
+        ev.run_due(1)
+        assert out == ["first", "second"]
+
+    def test_cascading_event_in_future(self):
+        ev = EventQueue()
+        out = []
+        ev.push(1, lambda c: ev.push(c + 10, lambda c2: out.append(c2)))
+        ev.run_due(1)
+        assert out == []
+        ev.run_due(11)
+        assert out == [11]
+
+    def test_next_cycle_empty(self):
+        assert EventQueue().next_cycle() is None
+
+    def test_len(self):
+        ev = EventQueue()
+        assert len(ev) == 0
+        ev.push(1, lambda c: None)
+        assert len(ev) == 1
+        ev.run_due(1)
+        assert len(ev) == 0
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, lambda c: None)
+
+    def test_callback_receives_firing_cycle(self):
+        # A late-fired event sees the current simulation time, not its
+        # original schedule - "now" is what timing code needs.
+        ev = EventQueue()
+        got = []
+        ev.push(7, got.append)
+        ev.run_due(100)
+        assert got == [100]

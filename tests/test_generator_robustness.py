@@ -1,0 +1,92 @@
+"""Fuzz/robustness net: generated kernels complete under every mode.
+
+This is the widest safety net in the suite: random (but deterministic)
+kernels spanning loops, barriers, every memory pattern, scratchpad use,
+register pressure and work variance are run under baseline, register
+sharing and scratchpad sharing.  Every run must terminate (no deadlock,
+no runaway) and conserve instructions.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.occupancy import occupancy
+from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
+from repro.core.unroll import reorder_registers
+from repro.sim.gpu import GPU
+from repro.workloads.generator import GeneratorParams, generate_kernel
+
+CFG = GPUConfig().scaled(num_clusters=2)
+SEEDS = list(range(24))
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_kernels_valid(self, seed):
+        k = generate_kernel(seed)
+        assert k.dynamic_count >= 1
+        occ = occupancy(k, CFG)  # fits on an SM
+        assert occ.blocks >= 1
+
+    def test_deterministic(self):
+        assert generate_kernel(7) == generate_kernel(7)
+
+    def test_seeds_differ(self):
+        assert generate_kernel(1) != generate_kernel(2)
+
+
+class TestBaselineRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_completes_and_conserves(self, seed):
+        k = generate_kernel(seed).with_grid(5)
+        gpu = GPU(k, CFG)
+        r = gpu.run(max_cycles=1_500_000)
+        assert gpu.dispatcher.completed == 5
+        assert r.instructions > 0
+        for s in r.sm_stats:
+            assert s.total_cycles == r.cycles
+
+
+class TestSharingRobustness:
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_register_sharing_never_deadlocks(self, seed):
+        k = reorder_registers(generate_kernel(seed)).with_grid(6)
+        plan = plan_sharing(k, CFG, SharingSpec(SharedResource.REGISTERS,
+                                                0.1))
+        gpu = GPU(k, CFG, scheduler="owf", plan=plan, dyn=True)
+        gpu.run(max_cycles=1_500_000)
+        assert gpu.dispatcher.completed == 6
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_scratchpad_sharing_never_deadlocks(self, seed):
+        k = generate_kernel(seed).with_grid(6)
+        plan = plan_sharing(k, CFG, SharingSpec(SharedResource.SCRATCHPAD,
+                                                0.1))
+        gpu = GPU(k, CFG, scheduler="owf", plan=plan)
+        gpu.run(max_cycles=1_500_000)
+        assert gpu.dispatcher.completed == 6
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("t", [0.05, 0.25, 0.5, 0.75, 1.0])
+    def test_threshold_sweep_robust(self, seed, t):
+        k = generate_kernel(seed).with_grid(4)
+        plan = plan_sharing(k, CFG, SharingSpec(SharedResource.REGISTERS, t))
+        gpu = GPU(k, CFG, plan=plan)
+        gpu.run(max_cycles=1_500_000)
+        assert gpu.dispatcher.completed == 4
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_early_release_robust(self, seed):
+        k = reorder_registers(generate_kernel(seed)).with_grid(4)
+        plan = plan_sharing(k, CFG, SharingSpec(SharedResource.REGISTERS,
+                                                0.1))
+        gpu = GPU(k, CFG, scheduler="owf", plan=plan, early_release=True)
+        gpu.run(max_cycles=1_500_000)
+        assert gpu.dispatcher.completed == 4
+
+    @pytest.mark.parametrize("scheduler", ["lrr", "gto", "two_level", "owf"])
+    def test_all_schedulers_robust(self, scheduler):
+        k = generate_kernel(5).with_grid(4)
+        gpu = GPU(k, CFG, scheduler=scheduler)
+        gpu.run(max_cycles=1_500_000)
+        assert gpu.dispatcher.completed == 4

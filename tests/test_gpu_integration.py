@@ -1,0 +1,119 @@
+"""GPU-level integration across apps × modes (tiny scale).
+
+The matrix below is the deadlock/regression net for the whole stack:
+every app must complete under every mode family, deterministically.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.sharing import SharedResource
+from repro.harness.runner import run, shared, unshared
+from repro.workloads.apps import APPS
+from repro.workloads.suites import SET1, SET2, SET3
+
+REG = SharedResource.REGISTERS
+SPAD = SharedResource.SCRATCHPAD
+FAST = dict(config=GPUConfig().scaled(num_clusters=2), scale=0.25,
+            waves=1.5)
+
+
+class TestSet1AllModes:
+    @pytest.mark.parametrize("name", SET1)
+    def test_baseline_lrr(self, name):
+        assert run(APPS[name], unshared("lrr"), **FAST).ipc > 0
+
+    @pytest.mark.parametrize("name", SET1)
+    def test_register_sharing_full_stack(self, name):
+        r = run(APPS[name], shared(REG, "owf", unroll=True, dyn=True),
+                **FAST)
+        assert r.ipc > 0
+        assert r.blocks_total >= r.blocks_baseline
+
+    @pytest.mark.parametrize("name", SET1)
+    def test_register_sharing_noopt(self, name):
+        assert run(APPS[name], shared(REG, "lrr"), **FAST).ipc > 0
+
+    @pytest.mark.parametrize("sched", ["gto", "two_level"])
+    def test_alt_schedulers(self, sched):
+        assert run(APPS["hotspot"], unshared(sched), **FAST).ipc > 0
+
+
+class TestSet2AllModes:
+    @pytest.mark.parametrize("name", SET2)
+    def test_scratchpad_sharing_owf(self, name):
+        r = run(APPS[name], shared(SPAD, "owf"), **FAST)
+        assert r.ipc > 0
+        assert r.blocks_total > r.blocks_baseline
+
+    @pytest.mark.parametrize("name", SET2)
+    def test_scratchpad_sharing_lrr(self, name):
+        assert run(APPS[name], shared(SPAD, "lrr"), **FAST).ipc > 0
+
+
+class TestSet3Invariants:
+    """Paper Sec. VI-B-2: sharing launches nothing extra for Set-3, so
+    Shared-X must equal Unshared-X *exactly*."""
+
+    @pytest.mark.parametrize("name", SET3)
+    def test_shared_lrr_identical_to_lrr(self, name):
+        a = run(APPS[name], unshared("lrr"), **FAST)
+        b = run(APPS[name], shared(REG, "lrr", unroll=True, dyn=True),
+                **FAST)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+
+    @pytest.mark.parametrize("name", SET3)
+    def test_shared_gto_identical_to_gto(self, name):
+        a = run(APPS[name], unshared("gto"), **FAST)
+        b = run(APPS[name], shared(REG, "gto", unroll=True, dyn=True),
+                **FAST)
+        assert a.cycles == b.cycles
+
+    @pytest.mark.parametrize("name", SET3)
+    def test_no_extra_blocks(self, name):
+        r = run(APPS[name], shared(REG, "owf"), **FAST)
+        assert r.blocks_total == r.blocks_baseline
+
+
+class TestCrossRun:
+    def test_bit_identical_reruns(self):
+        m = shared(REG, "owf", unroll=True, dyn=True)
+        a = run(APPS["MUM"], m, **FAST)
+        b = run(APPS["MUM"], m, **FAST)
+        assert a.summary() == b.summary()
+
+    def test_sharing_launches_paper_block_counts(self):
+        # grid must exceed capacity for the peak to reach the plan total
+        cfg = GPUConfig().scaled(num_clusters=2)
+        r = run(APPS["hotspot"], shared(REG, "owf", unroll=True),
+                config=cfg, scale=0.25, grid_blocks=24)
+        assert r.max_resident_blocks == 6
+        r = run(APPS["lavaMD"], shared(SPAD, "owf"), config=cfg,
+                scale=0.25, grid_blocks=16)
+        assert r.max_resident_blocks == 4
+
+    def test_threshold_sweep_monotone_blocks(self):
+        # Lower t (more sharing) never launches fewer blocks.
+        prev = 0
+        for pct in (0, 30, 50, 70, 90):
+            r = run(APPS["LIB"], shared(REG, "lrr", t=1.0 - pct / 100.0),
+                    **FAST)
+            assert r.blocks_total >= prev
+            prev = r.blocks_total
+
+    def test_double_register_config(self):
+        from dataclasses import replace
+        cfg = replace(GPUConfig().scaled(num_clusters=2),
+                      registers_per_sm=65536)
+        r = run(APPS["hotspot"], unshared("lrr"), config=cfg, scale=0.25,
+                waves=1.5)
+        assert r.max_resident_blocks == 6  # 2x registers -> thread cap
+
+    def test_stats_totals_consistent(self):
+        r = run(APPS["CONV1"], shared(SPAD, "owf"), **FAST)
+        for s in r.sm_stats:
+            assert s.total_cycles == r.cycles
+            assert (s.issued_owner + s.issued_unshared
+                    + s.issued_nonowner) == s.instructions
+        assert sum(s.instructions for s in r.sm_stats) == r.instructions

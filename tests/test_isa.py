@@ -1,0 +1,102 @@
+"""Opcode groups, Instr and MemDesc validation."""
+
+import pytest
+
+from repro.isa.instructions import Instr, MemDesc
+from repro.isa.opcodes import (ALU_OPS, GLOBAL_OPS, MEM_OPS, SHARED_OPS,
+                               MemSpace, Op, Pattern, op_group)
+
+
+def g(footprint=4096, **kw):
+    return MemDesc(MemSpace.GLOBAL, footprint=footprint, **kw)
+
+
+class TestOpGroups:
+    def test_every_op_has_a_group(self):
+        for op in Op:
+            assert op_group(op) in {"alu", "sfu", "global", "shared",
+                                    "bar", "exit"}
+
+    def test_alu_ops(self):
+        for op in ALU_OPS:
+            assert op_group(op) == "alu"
+
+    def test_global_ops(self):
+        assert op_group(Op.LDG) == "global"
+        assert op_group(Op.STG) == "global"
+
+    def test_shared_ops(self):
+        assert op_group(Op.LDS) == "shared"
+        assert op_group(Op.STS) == "shared"
+
+    def test_sync_ops(self):
+        assert op_group(Op.BAR) == "bar"
+        assert op_group(Op.EXIT) == "exit"
+
+    def test_mem_ops_partition(self):
+        assert MEM_OPS == GLOBAL_OPS | SHARED_OPS
+        assert not GLOBAL_OPS & SHARED_OPS
+
+
+class TestMemDesc:
+    def test_global_requires_positive_footprint(self):
+        with pytest.raises(ValueError):
+            MemDesc(MemSpace.GLOBAL, footprint=0)
+
+    def test_txn_bounds(self):
+        with pytest.raises(ValueError):
+            g(txn=0)
+        with pytest.raises(ValueError):
+            g(txn=33)
+        assert g(txn=32).txn == 32
+
+    def test_shared_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            MemDesc(MemSpace.SHARED, offset=-1)
+
+    def test_shared_defaults(self):
+        m = MemDesc(MemSpace.SHARED, offset=8)
+        assert m.stride == 0 and m.wrap == 0
+
+
+class TestInstr:
+    def test_mem_op_requires_desc(self):
+        with pytest.raises(ValueError):
+            Instr(Op.LDG, dst=(0,))
+
+    def test_alu_rejects_desc(self):
+        with pytest.raises(ValueError):
+            Instr(Op.IADD, dst=(0,), src=(1,), mem=g())
+
+    def test_space_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Instr(Op.LDS, dst=(0,), mem=g())
+        with pytest.raises(ValueError):
+            Instr(Op.LDG, dst=(0,), mem=MemDesc(MemSpace.SHARED))
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            Instr(Op.IADD, dst=(-1,), src=(0,))
+
+    def test_regs_property_order(self):
+        i = Instr(Op.FFMA, dst=(5,), src=(1, 2))
+        assert i.regs == (5, 1, 2)
+
+    def test_remap(self):
+        i = Instr(Op.FFMA, dst=(5,), src=(1, 2))
+        j = i.remap({5: 0, 1: 7})
+        assert j.dst == (0,) and j.src == (7, 2)
+        assert j.op is Op.FFMA
+
+    def test_remap_preserves_mem(self):
+        i = Instr(Op.LDG, dst=(3,), mem=g())
+        assert i.remap({3: 0}).mem == i.mem
+
+    def test_frozen(self):
+        i = Instr(Op.IADD, dst=(0,), src=(1,))
+        with pytest.raises(Exception):
+            i.dst = (2,)  # type: ignore[misc]
+
+    def test_bar_and_exit_carry_no_regs(self):
+        assert Instr(Op.BAR).regs == ()
+        assert Instr(Op.EXIT).regs == ()

@@ -1,0 +1,124 @@
+"""Kernel and Segment semantics."""
+
+import pytest
+
+from repro.isa.instructions import Instr, MemDesc
+from repro.isa.kernel import Kernel, Segment
+from repro.isa.opcodes import MemSpace, Op
+
+
+def alu(d, s):
+    return Instr(Op.FADD, dst=(d,), src=(s,))
+
+
+EXIT = Instr(Op.EXIT)
+
+
+def mk(segs, regs=8, threads=64, smem=0, **kw):
+    return Kernel(name="k", threads_per_block=threads, regs_per_thread=regs,
+                  smem_per_block=smem, grid_blocks=1, segments=segs, **kw)
+
+
+class TestSegment:
+    def test_repeat_positive(self):
+        with pytest.raises(ValueError):
+            Segment((EXIT,), repeat=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Segment((), repeat=1)
+
+    def test_dynamic_count(self):
+        s = Segment((alu(0, 1), alu(1, 0)), repeat=5)
+        assert s.dynamic_count == 10
+
+
+class TestKernelValidation:
+    def test_must_end_with_exit(self):
+        with pytest.raises(ValueError):
+            mk((Segment((alu(0, 1),)),))
+
+    def test_register_overflow_detected(self):
+        with pytest.raises(ValueError) as e:
+            mk((Segment((alu(7, 8), EXIT)),), regs=8)
+        assert "register 8" in str(e.value)
+
+    def test_scratchpad_overflow_detected(self):
+        lds = Instr(Op.LDS, dst=(0,),
+                    mem=MemDesc(MemSpace.SHARED, offset=100))
+        with pytest.raises(ValueError):
+            mk((Segment((lds, EXIT)),), smem=64)
+
+    def test_scratchpad_wrap_checked(self):
+        lds = Instr(Op.LDS, dst=(0,),
+                    mem=MemDesc(MemSpace.SHARED, offset=0, stride=4,
+                                wrap=128))
+        with pytest.raises(ValueError):
+            mk((Segment((lds, EXIT)),), smem=64)
+        mk((Segment((lds, EXIT)),), smem=128)  # exactly fits
+
+    def test_variance_range(self):
+        seg = (Segment((EXIT,)),)
+        with pytest.raises(ValueError):
+            mk(seg, work_variance=0.95)
+        with pytest.raises(ValueError):
+            mk(seg, work_variance=-0.1)
+
+    def test_variance_with_loop_barrier_rejected(self):
+        segs = (Segment((alu(0, 1), Instr(Op.BAR)), repeat=4),
+                Segment((EXIT,)))
+        with pytest.raises(ValueError):
+            mk(segs, work_variance=0.3)
+        mk(segs, work_variance=0.0)  # fine without variance
+
+    def test_variance_with_sequential_barrier_ok(self):
+        segs = (Segment((alu(0, 1),), repeat=4),
+                Segment((Instr(Op.BAR), EXIT)))
+        mk(segs, work_variance=0.3)
+
+    def test_grid_positive(self):
+        with pytest.raises(ValueError):
+            mk((Segment((EXIT,)),)).with_grid(0)
+
+
+class TestKernelProperties:
+    def test_warps_per_block_rounds_up(self):
+        k = mk((Segment((EXIT,)),), threads=508)
+        assert k.warps_per_block == 16
+
+    def test_regs_per_block(self):
+        k = mk((Segment((EXIT,)),), threads=256, regs=36)
+        assert k.regs_per_block == 9216
+        assert k.regs_per_warp == 36 * 32
+
+    def test_dynamic_count(self):
+        segs = (Segment((alu(0, 1),), repeat=10), Segment((EXIT,)))
+        assert mk(segs).dynamic_count == 11
+
+    def test_iter_trace_matches_dynamic_count(self):
+        segs = (Segment((alu(0, 1), alu(1, 0)), repeat=3),
+                Segment((alu(2, 0), EXIT)))
+        k = mk(segs)
+        trace = list(k.iter_trace())
+        assert len(trace) == k.dynamic_count == 8
+        assert trace[-1].op is Op.EXIT
+
+    def test_registers_used_first_use_order(self):
+        segs = (Segment((alu(5, 3), alu(1, 5), EXIT)),)
+        assert mk(segs).registers_used == (5, 3, 1)
+
+    def test_max_register_used(self):
+        segs = (Segment((alu(5, 3), EXIT)),)
+        assert mk(segs).max_register_used == 5
+
+    def test_with_grid(self):
+        k = mk((Segment((EXIT,)),))
+        k2 = k.with_grid(100)
+        assert k2.grid_blocks == 100
+        assert k.grid_blocks == 1  # original untouched
+
+    def test_remap_registers(self):
+        segs = (Segment((alu(5, 3), EXIT)),)
+        k = mk(segs).remap_registers({5: 0, 3: 1})
+        ins = k.static_instrs[0]
+        assert ins.dst == (0,) and ins.src == (1,)

@@ -1,0 +1,112 @@
+"""Live-range analysis and the early-release extension."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.liverange import SharedLiveness
+from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
+from repro.harness.extensions import tail_heavy_kernel
+from repro.harness.runner import run, shared, unshared
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Instr
+from repro.isa.kernel import Kernel, Segment
+from repro.isa.opcodes import Op
+from repro.sim.gpu import GPU
+
+
+def alu(d, s):
+    return Instr(Op.FADD, dst=(d,), src=(s,))
+
+
+def mk(segs, regs=16):
+    return Kernel(name="k", threads_per_block=64, regs_per_thread=regs,
+                  smem_per_block=0, grid_blocks=1, segments=segs)
+
+
+class TestSharedLiveness:
+    def test_straight_line_suffix_max(self):
+        segs = (Segment((alu(9, 1), alu(2, 3), alu(0, 1), Instr(Op.EXIT)),),)
+        lv = SharedLiveness(mk(segs))
+        reps = (1,)
+        assert lv.future_max_reg(0, 0, 0, reps) == 9
+        assert lv.future_max_reg(0, 0, 1, reps) == 3
+        assert lv.future_max_reg(0, 0, 2, reps) == 1
+        assert lv.future_max_reg(0, 0, 3, reps) == -1
+
+    def test_loop_counts_body_until_last_rep(self):
+        segs = (Segment((alu(9, 1), alu(2, 3)), repeat=3),
+                Segment((alu(0, 1), Instr(Op.EXIT)),))
+        lv = SharedLiveness(mk(segs))
+        reps = (3, 1)
+        # mid-loop at pc 1: rep 0 -> body runs again, max is 9
+        assert lv.future_max_reg(0, 0, 1, reps) == 9
+        # final repetition at pc 1: only alu(2,3) + next segment remain
+        assert lv.future_max_reg(0, 2, 1, reps) == 3
+
+    def test_respects_warp_specific_repeats(self):
+        segs = (Segment((alu(9, 1),), repeat=5), Segment((Instr(Op.EXIT),),))
+        lv = SharedLiveness(mk(segs))
+        # A warp whose variance-scaled trip count is 2 finishes earlier.
+        assert lv.future_max_reg(0, 1, 0, (2, 1)) == 9
+        assert lv.future_max_reg(0, 2, 0, (5, 1)) == 9
+
+    def test_done_with_shared(self):
+        segs = (Segment((alu(9, 1), alu(1, 0), Instr(Op.EXIT)),),)
+        lv = SharedLiveness(mk(segs))
+        assert not lv.done_with_shared(0, 0, 0, (1,), private_regs=3)
+        assert lv.done_with_shared(0, 0, 1, (1,), private_regs=3)
+
+    def test_past_end_is_done(self):
+        segs = (Segment((Instr(Op.EXIT),),),)
+        lv = SharedLiveness(mk(segs))
+        assert lv.done_with_shared(1, 0, 0, (1,), private_regs=0)
+
+
+class TestEarlyReleaseEndToEnd:
+    CFG = GPUConfig().scaled(num_clusters=1)
+
+    def _run(self, early):
+        k = tail_heavy_kernel(0.4).with_grid(8)
+        plan = plan_sharing(k, self.CFG,
+                            SharingSpec(SharedResource.REGISTERS, 0.1))
+        assert plan.enabled
+        from repro.core.unroll import reorder_registers
+        k = reorder_registers(k)
+        gpu = GPU(k, self.CFG, scheduler="owf", plan=plan,
+                  early_release=early)
+        return gpu.run()
+
+    def test_early_releases_counted(self):
+        r = self._run(True)
+        assert sum(s.early_releases for s in r.sm_stats) > 0
+
+    def test_off_by_default(self):
+        r = self._run(False)
+        assert sum(s.early_releases for s in r.sm_stats) == 0
+
+    def test_conservation_unaffected(self):
+        a = self._run(False)
+        b = self._run(True)
+        assert a.instructions == b.instructions
+
+    def test_er_never_slower_on_tail_heavy(self):
+        a = self._run(False)
+        b = self._run(True)
+        assert b.cycles <= a.cycles * 1.02
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            shared(SharedResource.SCRATCHPAD, "owf", early_release=True)
+
+    def test_mode_label(self):
+        m = shared(SharedResource.REGISTERS, "owf", unroll=True,
+                   early_release=True)
+        assert m.label == "Shared-OWF-Unroll-ER"
+
+    def test_runner_integration(self):
+        from repro.harness.extensions import TAIL_APP
+        cfg = GPUConfig().scaled(num_clusters=2)
+        r = run(TAIL_APP, shared(SharedResource.REGISTERS, "owf",
+                                 unroll=True, early_release=True),
+                config=cfg, scale=0.3, waves=2)
+        assert r.ipc > 0

@@ -1,0 +1,103 @@
+"""Occupancy math (Fig. 1) — exact paper values for every app."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.occupancy import occupancy
+from repro.isa.builder import KernelBuilder
+from repro.workloads.apps import APPS
+from repro.workloads.suites import SET1, SET2
+
+CFG = GPUConfig()
+
+#: Paper Fig. 1(a)/Table VI column "0%": baseline resident blocks.
+SET1_BLOCKS = {"backprop": 5, "b+tree": 2, "hotspot": 3, "LIB": 4,
+               "MUM": 4, "mri-q": 5, "sgemm": 5, "stencil": 2}
+
+#: Paper Fig. 1(c)/Table VIII column "0%".
+SET2_BLOCKS = {"CONV1": 6, "CONV2": 3, "lavaMD": 2, "NW1": 7, "NW2": 7,
+               "SRAD1": 2, "SRAD2": 3}
+
+
+class TestPaperBlocks:
+    @pytest.mark.parametrize("app", SET1)
+    def test_set1_resident_blocks(self, app):
+        occ = occupancy(APPS[app].kernel(), CFG)
+        assert occ.blocks == SET1_BLOCKS[app]
+
+    @pytest.mark.parametrize("app", SET1)
+    def test_set1_limited_by_registers(self, app):
+        occ = occupancy(APPS[app].kernel(), CFG)
+        assert occ.limiter == "registers"
+
+    @pytest.mark.parametrize("app", SET2)
+    def test_set2_resident_blocks(self, app):
+        occ = occupancy(APPS[app].kernel(), CFG)
+        assert occ.blocks == SET2_BLOCKS[app]
+
+    @pytest.mark.parametrize("app", SET2)
+    def test_set2_limited_by_scratchpad(self, app):
+        occ = occupancy(APPS[app].kernel(), CFG)
+        assert occ.limiter == "scratchpad"
+
+
+class TestPaperWaste:
+    def test_hotspot_register_waste(self):
+        # Paper Sec. I-A: 3 blocks x 9216 regs -> 5120 of 32768 wasted.
+        occ = occupancy(APPS["hotspot"].kernel(), CFG)
+        assert occ.register_waste_pct == pytest.approx(5120 / 32768 * 100)
+
+    def test_lavamd_scratchpad_waste(self):
+        # Paper Sec. I-A: 2 blocks x 7200 B -> 1984 B of 16384 unused.
+        occ = occupancy(APPS["lavaMD"].kernel(), CFG)
+        assert occ.scratchpad_waste_pct == pytest.approx(
+            1984 / 16384 * 100)
+
+
+def k(threads=64, regs=8, smem=0):
+    return KernelBuilder("t", block_size=threads, regs=regs,
+                         smem=smem).build()
+
+
+class TestLimiters:
+    def test_thread_limited(self):
+        occ = occupancy(k(threads=256, regs=4), CFG)
+        assert occ.blocks == 6
+        assert occ.limiter == "threads"
+
+    def test_block_limited(self):
+        occ = occupancy(k(threads=32, regs=4), CFG)
+        assert occ.blocks == 8
+        assert occ.limiter == "blocks"
+
+    def test_register_limited(self):
+        occ = occupancy(k(threads=256, regs=36), CFG)
+        assert occ.blocks == 3
+        assert occ.limiter == "registers"
+
+    def test_scratchpad_limited(self):
+        occ = occupancy(k(threads=64, regs=4, smem=7200), CFG)
+        assert occ.blocks == 2
+        assert occ.limiter == "scratchpad"
+
+    def test_does_not_fit_raises(self):
+        with pytest.raises(ValueError):
+            occupancy(k(threads=1024, regs=40), CFG)
+
+    def test_zero_smem_no_constraint(self):
+        occ = occupancy(k(threads=64, regs=4, smem=0), CFG)
+        assert occ.by_scratchpad == CFG.max_blocks_per_sm
+
+
+class TestWasteInvariants:
+    @pytest.mark.parametrize("app", SET1 + SET2)
+    def test_waste_in_unit_interval(self, app):
+        occ = occupancy(APPS[app].kernel(), CFG)
+        assert 0.0 <= occ.register_waste < 1.0
+        assert 0.0 <= occ.scratchpad_waste <= 1.0
+
+    @pytest.mark.parametrize("app", SET1 + SET2)
+    def test_blocks_bounded_by_every_cap(self, app):
+        occ = occupancy(APPS[app].kernel(), CFG)
+        assert occ.blocks <= min(occ.by_registers, occ.by_scratchpad,
+                                 occ.by_threads, occ.by_blocks)

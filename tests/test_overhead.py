@@ -1,0 +1,74 @@
+"""Sec. V hardware overhead formulas."""
+
+import math
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.overhead import (overhead_summary, register_sharing_bits,
+                                 scratchpad_sharing_bits)
+
+
+def clog2(x):
+    return math.ceil(math.log2(x)) if x > 1 else 0
+
+
+def reg_formula(T, W, N):
+    return (1 + T * clog2(T + 1) + 2 * W + (W // 2) * clog2(W)) * N
+
+
+def spad_formula(T, W, N):
+    return (1 + T * clog2(T + 1) + W + (T // 2) * clog2(T)) * N
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("T,W,N", [(8, 48, 14), (8, 48, 1), (4, 16, 2),
+                                       (1, 1, 1), (16, 64, 30)])
+    def test_register_matches_paper_formula(self, T, W, N):
+        assert register_sharing_bits(T, W, N) == reg_formula(T, W, N)
+
+    @pytest.mark.parametrize("T,W,N", [(8, 48, 14), (8, 48, 1), (4, 16, 2),
+                                       (1, 1, 1), (16, 64, 30)])
+    def test_scratchpad_matches_paper_formula(self, T, W, N):
+        assert scratchpad_sharing_bits(T, W, N) == spad_formula(T, W, N)
+
+    def test_table1_machine_values(self):
+        # T=8, W=48, N=14: reg = 1 + 8*4 + 96 + 24*6 = 273 bits/SM.
+        assert register_sharing_bits(8, 48, 1) == 273
+        assert register_sharing_bits(8, 48, 14) == 273 * 14
+        # spad = 1 + 32 + 48 + 4*3 = 93 bits/SM.
+        assert scratchpad_sharing_bits(8, 48, 1) == 93
+
+    def test_overhead_is_tiny_vs_register_file(self):
+        # The paper's pitch: a few hundred bits vs a 128 KB register file.
+        bits = register_sharing_bits(8, 48, 1)
+        assert bits < 32768 * 32 / 1000  # < 0.1% of the register file
+
+    def test_linear_in_sm_count(self):
+        assert register_sharing_bits(8, 48, 14) == \
+            14 * register_sharing_bits(8, 48, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            register_sharing_bits(0, 48, 1)
+        with pytest.raises(ValueError):
+            scratchpad_sharing_bits(8, 0, 1)
+        with pytest.raises(ValueError):
+            register_sharing_bits(8, 48, 0)
+
+
+class TestSummary:
+    def test_summary_uses_config(self):
+        s = overhead_summary(GPUConfig())
+        assert s["blocks_per_sm"] == 8
+        assert s["warps_per_sm"] == 48
+        assert s["num_sms"] == 14
+        assert s["register_sharing_bits_per_sm"] == 273
+        assert s["register_sharing_bits_total"] == 273 * 14
+        assert s["scratchpad_sharing_bits_per_sm"] == 93
+
+    def test_register_overhead_exceeds_scratchpad(self):
+        # W >> T, so per-warp state dominates.
+        s = overhead_summary(GPUConfig())
+        assert (s["register_sharing_bits_per_sm"]
+                > s["scratchpad_sharing_bits_per_sm"])

@@ -1,0 +1,118 @@
+"""The EXPERIMENTS.md tooling in scripts/ (log parsing and splicing)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+build_mod = _load("build_experiments_md")
+splice_mod = _load("splice_bench_sections")
+
+HARNESS_LOG = """== Fig 1: resident thread blocks and resource waste ==
+app       blocks
+--------  ------
+hotspot   3
+note: demo.
+
+[fig1: 0.0s]
+
+== Table VI: resident blocks vs % register sharing ==
+app      0%  90%
+-------  --  ---
+hotspot  3   6
+
+[table6: 1.5s]
+"""
+
+BENCH_LOG = """
+== Fig 8(c): % IPC improvement, register sharing (X vs Y) ==
+app      improvement_pct
+-------  ---------------
+hotspot  16.52
+.
+== Table VII: IPC vs % scratchpad sharing ==
+app     0%    90%
+------  ----  ----
+lavaMD  5.00  7.00
+.
+===== 24 passed =====
+"""
+
+
+class TestBuildExperimentsMd:
+    def test_sections_extracted_with_notes(self):
+        out = build_mod.build(HARNESS_LOG, "test settings")
+        assert "test settings" in out
+        assert "## fig1 — Fig 1: resident thread blocks" in out
+        assert "## table6 — Table VI" in out
+        assert "golden-pinned" in out  # table6 commentary attached
+        assert "`python -m repro.harness fig1`" in out
+
+    def test_tables_fenced(self):
+        out = build_mod.build(HARNESS_LOG, "s")
+        assert out.count("```") % 2 == 0
+        assert "hotspot   3" in out
+
+    def test_missing_sections_listed(self):
+        out = build_mod.build(HARNESS_LOG, "s")
+        assert "not present in this log" in out
+        assert "fig9a" in out  # one of the absent ids
+
+    def test_known_ids_ordered_before_unknown(self):
+        log = HARNESS_LOG + (
+            "== Something custom ==\nrow\n[zz_custom: 0.1s]\n\n")
+        out = build_mod.build(log, "s")
+        assert out.index("## fig1") < out.index("## zz_custom")
+
+
+class TestSpliceBenchSections:
+    def test_section_regex_finds_bench_tables(self):
+        found = {m.group("title")
+                 for m in splice_mod.SECTION_RE.finditer(BENCH_LOG)}
+        assert any(t.startswith("Fig 8(c)") for t in found)
+        assert any(t.startswith("Table VII") for t in found)
+
+    def test_title_map_covers_all_paper_artifacts(self):
+        ids = set(splice_mod.TITLE_TO_ID.values())
+        for want in ("fig8c", "fig9d", "fig12b", "table5", "table8",
+                     "hw_overhead"):
+            assert want in ids
+
+    def test_main_emits_harness_format(self, tmp_path, capsys, monkeypatch):
+        f = tmp_path / "bench.txt"
+        f.write_text(BENCH_LOG)
+        monkeypatch.setattr(sys, "argv",
+                            ["splice", str(f), "fig8c", "table7"])
+        assert splice_mod.main() == 0
+        out = capsys.readouterr().out
+        assert "[fig8c: 0.0s]" in out
+        assert "[table7: 0.0s]" in out
+        # spliced output round-trips through the builder
+        built = build_mod.build(out, "s")
+        assert "## fig8c" in built and "## table7" in built
+
+    def test_missing_ids_reported_on_stderr(self, tmp_path, capsys,
+                                            monkeypatch):
+        f = tmp_path / "bench.txt"
+        f.write_text(BENCH_LOG)
+        monkeypatch.setattr(sys, "argv", ["splice", str(f), "fig9a"])
+        assert splice_mod.main() == 0
+        err = capsys.readouterr().err
+        assert "fig9a" in err
+
+    def test_pytest_dots_not_swallowed(self):
+        # the '.' progress line after a section must terminate its body
+        m = next(splice_mod.SECTION_RE.finditer(BENCH_LOG))
+        assert "passed" not in m.group("body")
+        assert m.group("body").strip().endswith("16.52")

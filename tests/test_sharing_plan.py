@@ -1,0 +1,149 @@
+"""Eq. 1-4 sharing plans — validated against every Table VI/VIII entry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPUConfig
+from repro.core.sharing import (SharedResource, SharingPlan, SharingSpec,
+                                eq4_max_blocks, plan_sharing)
+from repro.isa.builder import KernelBuilder
+from repro.workloads.apps import APPS
+
+CFG = GPUConfig()
+REG = SharedResource.REGISTERS
+SPAD = SharedResource.SCRATCHPAD
+
+#: Paper Table VI: resident blocks vs register-sharing percentage.
+TABLE6 = {
+    "backprop": {0: 5, 10: 5, 30: 5, 50: 5, 70: 6, 90: 6},
+    "b+tree":   {0: 2, 10: 2, 30: 2, 50: 3, 70: 3, 90: 3},
+    "hotspot":  {0: 3, 10: 3, 30: 3, 50: 4, 70: 4, 90: 6},
+    "LIB":      {0: 4, 10: 4, 30: 5, 50: 5, 70: 6, 90: 8},
+    "MUM":      {0: 4, 10: 4, 30: 4, 50: 5, 70: 5, 90: 6},
+    "mri-q":    {0: 5, 10: 5, 30: 5, 50: 5, 70: 6, 90: 6},
+    "sgemm":    {0: 5, 10: 5, 30: 5, 50: 5, 70: 6, 90: 8},
+    "stencil":  {0: 2, 10: 2, 30: 2, 50: 2, 70: 2, 90: 3},
+}
+
+#: Paper Table VIII: resident blocks vs scratchpad-sharing percentage.
+TABLE8 = {
+    "CONV1":  {0: 6, 10: 6, 30: 6, 50: 6, 70: 7, 90: 8},
+    "CONV2":  {0: 3, 10: 3, 30: 3, 50: 3, 70: 3, 90: 4},
+    "lavaMD": {0: 2, 10: 2, 30: 2, 50: 2, 70: 2, 90: 4},
+    "NW1":    {0: 7, 10: 7, 30: 7, 50: 8, 70: 8, 90: 8},
+    "NW2":    {0: 7, 10: 7, 30: 7, 50: 8, 70: 8, 90: 8},
+    "SRAD1":  {0: 2, 10: 2, 30: 2, 50: 3, 70: 4, 90: 4},
+    "SRAD2":  {0: 3, 10: 3, 30: 3, 50: 3, 70: 3, 90: 5},
+}
+
+
+def plan_for(app, resource, pct):
+    t = 1.0 - pct / 100.0
+    return plan_sharing(APPS[app].kernel(), CFG, SharingSpec(resource, t))
+
+
+class TestTable6:
+    @pytest.mark.parametrize("app", sorted(TABLE6))
+    @pytest.mark.parametrize("pct", [0, 10, 30, 50, 70, 90])
+    def test_blocks_match_paper(self, app, pct):
+        assert plan_for(app, REG, pct).total == TABLE6[app][pct]
+
+
+class TestTable8:
+    @pytest.mark.parametrize("app", sorted(TABLE8))
+    @pytest.mark.parametrize("pct", [0, 10, 30, 50, 70, 90])
+    def test_blocks_match_paper(self, app, pct):
+        assert plan_for(app, SPAD, pct).total == TABLE8[app][pct]
+
+
+class TestSpec:
+    def test_t_bounds(self):
+        with pytest.raises(ValueError):
+            SharingSpec(REG, 0.0)
+        with pytest.raises(ValueError):
+            SharingSpec(REG, 1.1)
+        assert SharingSpec(REG, 1.0).sharing_pct == 0.0
+
+    def test_sharing_pct(self):
+        assert SharingSpec(REG, 0.1).sharing_pct == pytest.approx(90.0)
+
+
+class TestPlanInvariants:
+    @pytest.mark.parametrize("app", sorted(TABLE6))
+    @pytest.mark.parametrize("pct", [10, 50, 90])
+    def test_eq1_effective_blocks(self, app, pct):
+        p = plan_for(app, REG, pct)
+        # Eq. 1: S + U = D — sharing never reduces effective blocks.
+        assert p.pairs + p.unshared == p.baseline
+
+    @pytest.mark.parametrize("app", sorted(TABLE6))
+    def test_eq2_resource_bound(self, app):
+        p = plan_for(app, REG, 90)
+        rtb = APPS[app].kernel().regs_per_block
+        used = p.unshared * rtb + p.pairs * (1 + p.spec.t) * rtb
+        assert used <= CFG.registers_per_sm + 1e-6
+
+    @pytest.mark.parametrize("app", sorted(TABLE6))
+    def test_eq3_total(self, app):
+        p = plan_for(app, REG, 90)
+        assert p.total == p.unshared + 2 * p.pairs
+
+    def test_hotspot_90pct_detail(self):
+        # Worked example from the paper: 3 -> 6 blocks, all paired.
+        p = plan_for("hotspot", REG, 90)
+        assert (p.baseline, p.unshared, p.pairs, p.total) == (3, 0, 3, 6)
+        assert p.private_regs_per_thread == 3  # floor(36 * 0.1)
+
+    def test_no_sharing_at_zero_pct(self):
+        p = plan_for("hotspot", REG, 0)
+        assert not p.enabled
+        assert p.total == p.baseline
+
+    def test_extra_property(self):
+        p = plan_for("hotspot", REG, 90)
+        assert p.extra == 3
+
+    def test_kernel_without_scratchpad_gets_no_spad_sharing(self):
+        k = KernelBuilder("x", block_size=64, regs=8).build()
+        p = plan_sharing(k, CFG, SharingSpec(SPAD, 0.1))
+        assert not p.enabled
+
+    def test_thread_limited_kernel_gets_no_register_sharing(self):
+        # by_regs = 8 but threads cap at 6: sharing can't add blocks.
+        k = KernelBuilder("x", block_size=256, regs=16).build()
+        p = plan_sharing(k, CFG, SharingSpec(REG, 0.1))
+        assert not p.enabled
+        assert p.total == 6
+
+
+class TestEq4:
+    def test_paper_example(self):
+        # Sec. III: R=35K, Rtb=10K, t=0.5 -> 3 baseline + 1 extra pair.
+        assert eq4_max_blocks(35_000, 10_000, 0.5) == 4
+
+    def test_exact_division_adds_nothing(self):
+        assert eq4_max_blocks(30_000, 10_000, 0.1) == 3
+
+    def test_rtb_positive(self):
+        with pytest.raises(ValueError):
+            eq4_max_blocks(1000, 0, 0.5)
+
+    @given(R=st.integers(1024, 1 << 20), Rtb=st.integers(64, 1 << 16),
+           t=st.floats(0.05, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_closed_form_invariants(self, R, Rtb, t):
+        if Rtb > R:
+            return
+        D = R // Rtb
+        M = eq4_max_blocks(R, Rtb, t)
+        S = M - D
+        # pairs bounded by baseline (U = D - S >= 0)
+        assert 0 <= S <= D
+        # Eq. 2: resources never oversubscribed
+        assert (D - S) * Rtb + S * (1 + t) * Rtb <= R + 1e-6 * Rtb
+        # matches the paper's closed form (floored)
+        frac = R / Rtb - D
+        assert S == min(D, int(math.floor(frac / t + 1e-9)))

@@ -1,0 +1,223 @@
+"""SM-level integration: conservation, barriers, locks, taxonomy.
+
+These run tiny kernels on a 1-SM machine and inspect the internals.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
+from repro.isa.builder import KernelBuilder
+from repro.sim.gpu import GPU, SimulationLimitExceeded
+
+CFG1 = GPUConfig().scaled(num_clusters=1)
+
+
+def simple_kernel(block_size=64, regs=8, loops=4, grid=2, smem=0, **kw):
+    b = KernelBuilder("t", block_size=block_size, regs=regs, smem=smem, **kw)
+    with b.loop(loops):
+        b.alu_chain(2)
+        b.alu_indep(2)
+    return b.build().with_grid(grid)
+
+
+class TestConservation:
+    def test_instruction_count_exact(self):
+        k = simple_kernel(grid=3)
+        r = GPU(k, CFG1).run()
+        assert r.instructions == k.dynamic_count * k.warps_per_block * 3
+
+    def test_all_blocks_complete(self):
+        k = simple_kernel(grid=7)
+        gpu = GPU(k, CFG1)
+        r = gpu.run()
+        assert gpu.dispatcher.completed == 7
+        assert sum(s.blocks_completed for s in r.sm_stats) == 7
+        assert sum(s.blocks_launched for s in r.sm_stats) == 7
+
+    def test_cycle_taxonomy_sums(self):
+        k = simple_kernel(grid=4)
+        r = GPU(k, CFG1).run()
+        for s in r.sm_stats:
+            assert s.total_cycles == r.cycles
+
+    def test_no_warps_left_resident(self):
+        gpu = GPU(simple_kernel(grid=2), CFG1)
+        gpu.run()
+        assert all(not sm.warps for sm in gpu.sms)
+        assert all(sm.resident_blocks == 0 for sm in gpu.sms)
+
+    def test_determinism(self):
+        k = simple_kernel(grid=4, loops=6)
+        a = GPU(k, CFG1).run()
+        b = GPU(k, CFG1).run()
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.summary() == b.summary()
+
+
+class TestMemoryKernels:
+    def test_loads_complete(self):
+        b = KernelBuilder("m", block_size=64, regs=8)
+        with b.loop(6):
+            b.ldg(footprint=64 * 1024)
+            b.alu_chain(2)
+        k = b.build().with_grid(4)
+        r = GPU(k, CFG1).run()
+        assert r.mem["l1_accesses"] > 0
+        assert r.instructions == k.dynamic_count * 2 * 4
+
+    def test_stores_complete(self):
+        b = KernelBuilder("s", block_size=64, regs=8)
+        b.alu_indep(2)
+        b.stg(footprint=4096)
+        k = b.build().with_grid(2)
+        r = GPU(k, CFG1).run()
+        assert r.instructions == k.dynamic_count * 2 * 2
+
+    def test_stall_cycles_appear_for_dependent_loads(self):
+        b = KernelBuilder("m", block_size=32, regs=8)
+        with b.loop(8):
+            b.ldg(footprint=1 << 20)
+            b.alu_chain(1)  # depends on the load
+        k = b.build().with_grid(1)
+        r = GPU(k, CFG1).run()
+        assert r.stall_cycles > 0
+
+    def test_scratchpad_latency(self):
+        b = KernelBuilder("sp", block_size=32, regs=8, smem=512)
+        with b.loop(4):
+            b.lds(offset=0)
+            b.alu_chain(1)
+        k = b.build().with_grid(1)
+        r = GPU(k, CFG1).run()
+        assert r.cycles >= 4 * CFG1.latency.scratchpad
+
+
+class TestBarriers:
+    def test_barrier_kernel_completes(self):
+        b = KernelBuilder("b", block_size=128, regs=8)
+        b.alu_indep(2)
+        b.bar()
+        b.alu_indep(2)
+        b.bar()
+        b.alu_indep(1)
+        k = b.build().with_grid(3)
+        r = GPU(k, CFG1).run()
+        assert r.instructions == k.dynamic_count * 4 * 3
+        assert all(s.barriers == 2 * s.blocks_completed for s in r.sm_stats)
+
+    def test_single_warp_block_barrier_is_trivial(self):
+        b = KernelBuilder("b1", block_size=32, regs=8)
+        b.alu_indep(1)
+        b.bar()
+        b.alu_indep(1)
+        k = b.build().with_grid(2)
+        r = GPU(k, CFG1).run()
+        assert r.instructions == k.dynamic_count * 2
+
+    def test_barrier_with_variance_outside_loop(self):
+        b = KernelBuilder("bv", block_size=64, regs=8, variance=0.5)
+        with b.loop(20):
+            b.alu_indep(2)
+        b.bar()
+        b.alu_indep(1)
+        k = b.build().with_grid(2)
+        GPU(k, CFG1).run()  # must not deadlock
+
+
+class TestRegisterSharingRuntime:
+    def _run(self, scheduler="lrr", dyn=False, loops=6, grid=8):
+        # 256 threads x 36 regs -> 3 baseline blocks, 6 shared (hotspot
+        # geometry).
+        b = KernelBuilder("rs", block_size=256, regs=36, alloc="low_first")
+        with b.loop(loops):
+            b.alu_chain(2)
+            b.alu_indep(3)
+        k = b.build().with_grid(grid)
+        plan = plan_sharing(k, CFG1, SharingSpec(SharedResource.REGISTERS,
+                                                 0.1))
+        assert plan.enabled and plan.total == 6
+        gpu = GPU(k, CFG1, scheduler=scheduler, plan=plan, dyn=dyn)
+        return gpu, gpu.run()
+
+    def test_completes_and_conserves(self):
+        gpu, r = self._run()
+        assert gpu.dispatcher.completed == 8
+        assert r.instructions == 8 * 8 * (6 * 5 + 1)
+
+    def test_locks_exercised(self):
+        _, r = self._run()
+        st = r.sm_stats[0]
+        assert st.lock_acquires > 0
+
+    def test_max_resident_blocks_doubles(self):
+        _, r = self._run()
+        assert r.max_resident_blocks == 6
+
+    def test_owf_completes(self):
+        gpu, r = self._run(scheduler="owf")
+        assert gpu.dispatcher.completed == 8
+
+    def test_owner_and_nonowner_issue_classes_seen(self):
+        _, r = self._run(scheduler="owf", loops=10, grid=12)
+        st = r.sm_stats[0]
+        assert st.issued_owner > 0
+        # unshared class never appears: all blocks are paired
+        assert st.issued_unshared == 0
+
+    def test_dyn_controller_attached_and_runs(self):
+        gpu, r = self._run(dyn=True, loops=10)
+        assert gpu.dyn is not None
+        assert gpu.dyn.p[0] == 0.0
+
+
+class TestScratchpadSharingRuntime:
+    def _kernel(self, loops=6, barrier=False):
+        # 7200 B/block -> 2 baseline blocks, 4 shared (lavaMD geometry).
+        b = KernelBuilder("ss", block_size=128, regs=8, smem=7200)
+        with b.loop(loops):
+            b.lds(offset=0, stride=512, wrap=7200)
+            b.alu_indep(2)
+        if barrier:
+            b.bar()
+        b.alu_indep(1)
+        return b.build()
+
+    def test_completes(self):
+        k = self._kernel().with_grid(8)
+        plan = plan_sharing(k, CFG1,
+                            SharingSpec(SharedResource.SCRATCHPAD, 0.1))
+        assert plan.enabled and plan.total == 4
+        gpu = GPU(k, CFG1, plan=plan)
+        r = gpu.run()
+        assert gpu.dispatcher.completed == 8
+        assert r.sm_stats[0].lock_acquires > 0
+
+    def test_private_only_access_never_locks(self):
+        b = KernelBuilder("ss", block_size=128, regs=8, smem=7200)
+        with b.loop(6):
+            b.lds(offset=0, stride=64, wrap=640)  # stays below t*Rtb
+            b.alu_indep(2)
+        k = b.build().with_grid(8)
+        plan = plan_sharing(k, CFG1,
+                            SharingSpec(SharedResource.SCRATCHPAD, 0.1))
+        gpu = GPU(k, CFG1, plan=plan)
+        r = gpu.run()
+        assert r.sm_stats[0].lock_acquires == 0
+        assert r.sm_stats[0].lock_waits == 0
+
+    def test_barrier_plus_sharing_no_deadlock(self):
+        # The Fig. 5 scenario generalised: barriers + shared-pool waits.
+        k = self._kernel(barrier=True).with_grid(8)
+        plan = plan_sharing(k, CFG1,
+                            SharingSpec(SharedResource.SCRATCHPAD, 0.1))
+        gpu = GPU(k, CFG1, plan=plan)
+        gpu.run(max_cycles=500_000)  # raises on deadlock / runaway
+
+
+class TestGuards:
+    def test_runaway_guard(self):
+        k = simple_kernel(loops=200, grid=64)
+        with pytest.raises(SimulationLimitExceeded):
+            GPU(k, CFG1).run(max_cycles=50)

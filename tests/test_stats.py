@@ -1,0 +1,68 @@
+"""SMStats / RunResult accounting."""
+
+import pytest
+
+from repro.sim.stats import RunResult, SMStats
+
+
+def sm(i=0, **kw):
+    s = SMStats(sm_id=i)
+    for k, v in kw.items():
+        setattr(s, k, v)
+    return s
+
+
+class TestSMStats:
+    def test_total_cycles(self):
+        s = sm(active_cycles=10, stall_cycles=5, idle_cycles=3,
+               empty_cycles=2)
+        assert s.total_cycles == 20
+
+    def test_idle_like(self):
+        s = sm(idle_cycles=3, empty_cycles=2)
+        assert s.idle_like_cycles == 5
+
+    def test_defaults_zero(self):
+        s = SMStats()
+        assert s.instructions == 0
+        assert s.total_cycles == 0
+        assert s.early_releases == 0
+
+
+class TestRunResult:
+    def mk(self):
+        return RunResult(
+            kernel="k", mode="m", cycles=100, instructions=250,
+            sm_stats=[sm(0, stall_cycles=10, idle_cycles=5, empty_cycles=1,
+                         max_resident_blocks=3),
+                      sm(1, stall_cycles=20, idle_cycles=0, empty_cycles=4,
+                         max_resident_blocks=6)],
+            mem={"l1_miss_rate": 0.5, "dram_requests": 42},
+            blocks_baseline=3, blocks_total=6)
+
+    def test_ipc(self):
+        assert self.mk().ipc == 2.5
+
+    def test_zero_cycles_ipc(self):
+        r = RunResult(kernel="k", mode="m", cycles=0, instructions=0)
+        assert r.ipc == 0.0
+
+    def test_stall_aggregation(self):
+        assert self.mk().stall_cycles == 30
+
+    def test_idle_includes_empty(self):
+        assert self.mk().idle_cycles == 10
+
+    def test_max_resident(self):
+        assert self.mk().max_resident_blocks == 6
+
+    def test_max_resident_empty(self):
+        r = RunResult(kernel="k", mode="m", cycles=1, instructions=0)
+        assert r.max_resident_blocks == 0
+
+    def test_summary_flattens_mem(self):
+        s = self.mk().summary()
+        assert s["ipc"] == 2.5
+        assert s["l1_miss_rate"] == 0.5
+        assert s["dram_requests"] == 42.0
+        assert s["max_resident_blocks"] == 6

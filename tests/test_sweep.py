@@ -1,0 +1,78 @@
+"""Sweep utility and CSV export."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.sharing import SharedResource
+from repro.harness.runner import shared, unshared
+from repro.harness.sweep import CSV_COLUMNS, Sweep, result_row, rows_to_csv
+
+FAST = dict(config=GPUConfig().scaled(num_clusters=1), scale=0.2, waves=1.0)
+
+
+def small_sweep():
+    s = Sweep(**FAST)
+    s.add_apps(["gaussian"])
+    s.add_modes([unshared("lrr"), unshared("gto")])
+    return s
+
+
+class TestSweep:
+    def test_size(self):
+        s = small_sweep()
+        assert s.size == 2
+
+    def test_run_produces_rows(self):
+        s = small_sweep()
+        rows = s.run()
+        assert len(rows) == 2
+        assert {r["mode"] for r in rows} == {"Unshared-LRR", "Unshared-GTO"}
+        for r in rows:
+            for col in CSV_COLUMNS:
+                assert col in r
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(**FAST).run()
+
+    def test_csv_before_run_rejected(self):
+        with pytest.raises(ValueError):
+            small_sweep().to_csv()
+
+    def test_csv_shape(self):
+        s = small_sweep()
+        s.run()
+        lines = s.to_csv().strip().splitlines()
+        assert lines[0] == ",".join(CSV_COLUMNS)
+        assert len(lines) == 3
+        assert all(len(l.split(",")) == len(CSV_COLUMNS) for l in lines)
+
+    def test_best_mode_per_app(self):
+        s = small_sweep()
+        s.run()
+        best = s.best_mode_per_app()
+        assert set(best) == {"gaussian"}
+        assert best["gaussian"] in ("Unshared-LRR", "Unshared-GTO")
+
+    def test_sharing_columns_populated(self):
+        s = Sweep(**FAST)
+        s.add_apps(["CONV1"])
+        s.add_modes([shared(SharedResource.SCRATCHPAD, "owf")])
+        (row,) = s.run()
+        assert row["blocks_total"] == 8
+        assert row["blocks_baseline"] == 6
+
+    def test_app_objects_accepted(self):
+        from repro.workloads.apps import APPS
+        s = Sweep(**FAST)
+        s.add_apps([APPS["gaussian"]])
+        s.add_modes([unshared("lrr")])
+        assert s.size == 1
+
+
+class TestRowsToCsv:
+    def test_missing_keys_blank(self):
+        text = rows_to_csv([{"app": "x", "ipc": 1.0}])
+        line = text.strip().splitlines()[1]
+        assert line.startswith("x,")
+        assert line.split(",")[6] == ""  # cycles missing -> blank

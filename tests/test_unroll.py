@@ -1,0 +1,127 @@
+"""Sec. IV-B unrolling & reordering of register declarations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.unroll import (first_shared_use_distance, first_use_mapping,
+                               reorder_registers)
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Instr
+from repro.isa.kernel import Kernel, Segment
+from repro.isa.opcodes import Op
+from repro.workloads.apps import APPS
+
+
+def alu(d, s):
+    return Instr(Op.FADD, dst=(d,), src=(s,))
+
+
+def mk(instrs, regs=16):
+    return Kernel(name="k", threads_per_block=64, regs_per_thread=regs,
+                  smem_per_block=0, grid_blocks=1,
+                  segments=(Segment(tuple(instrs) + (Instr(Op.EXIT),)),))
+
+
+class TestMapping:
+    def test_first_use_order(self):
+        k = mk([alu(9, 7), alu(2, 9)])
+        m = first_use_mapping(k)
+        assert m[9] == 0 and m[7] == 1 and m[2] == 2
+
+    def test_bijection_on_register_budget(self):
+        k = mk([alu(9, 7), alu(2, 9)], regs=12)
+        m = first_use_mapping(k)
+        assert sorted(m.keys()) == list(range(12))
+        assert sorted(m.values()) == list(range(12))
+
+    def test_unused_packed_after_used(self):
+        k = mk([alu(5, 3)], regs=8)
+        m = first_use_mapping(k)
+        used_new = {m[5], m[3]}
+        assert used_new == {0, 1}
+        for old in (0, 1, 2, 4, 6, 7):
+            assert m[old] >= 2
+
+
+class TestReorder:
+    def test_dataflow_isomorphic(self):
+        k = mk([alu(9, 7), alu(2, 9), alu(7, 2)])
+        k2 = reorder_registers(k)
+        # same op sequence
+        assert [i.op for i in k2.static_instrs] == \
+            [i.op for i in k.static_instrs]
+        # equality pattern between register slots is preserved
+        old = [i.regs for i in k.static_instrs]
+        new = [i.regs for i in k2.static_instrs]
+        for (o1, n1) in zip(old, new):
+            assert len(o1) == len(n1)
+        flat_old = [r for regs in old for r in regs]
+        flat_new = [r for regs in new for r in regs]
+        pairing = {}
+        for o, n in zip(flat_old, flat_new):
+            assert pairing.setdefault(o, n) == n  # consistent renaming
+
+    def test_idempotent(self):
+        k = reorder_registers(mk([alu(9, 7), alu(2, 9)]))
+        assert reorder_registers(k).static_instrs == k.static_instrs
+
+    def test_first_instruction_uses_lowest_registers(self):
+        k = reorder_registers(mk([alu(15, 14), alu(3, 15)]))
+        assert set(k.static_instrs[0].regs) == {0, 1}
+
+    def test_resource_signature_unchanged(self):
+        k = APPS["sgemm"].kernel()
+        k2 = reorder_registers(k)
+        assert k2.regs_per_thread == k.regs_per_thread
+        assert k2.smem_per_block == k.smem_per_block
+        assert k2.dynamic_count == k.dynamic_count
+
+
+class TestSharedUseDistance:
+    def test_distance_counts_private_prefix(self):
+        k = mk([alu(0, 1), alu(2, 0), alu(5, 2)])
+        # with 3 private registers the third instruction (reg 5) stalls
+        assert first_shared_use_distance(k, 3) == 2
+
+    def test_never_shared(self):
+        k = mk([alu(0, 1)])
+        assert first_shared_use_distance(k, 8) == k.dynamic_count
+
+    def test_immediately_shared(self):
+        k = mk([alu(7, 1)])
+        assert first_shared_use_distance(k, 3) == 0
+
+    def test_unroll_never_decreases_distance(self):
+        # The point of the pass (paper Fig. 7): the sgemm-style kernel
+        # built high_first stalls immediately; after the pass it executes
+        # a longer private prefix.
+        k = APPS["sgemm"].kernel()
+        priv = int(k.regs_per_thread * 0.1)
+        before = first_shared_use_distance(k, priv)
+        after = first_shared_use_distance(reorder_registers(k), priv)
+        assert after >= before
+
+    @pytest.mark.parametrize("name", ["hotspot", "sgemm", "MUM", "LIB"])
+    def test_unroll_improves_or_matches_all_register_apps(self, name):
+        k = APPS[name].kernel()
+        priv = int(k.regs_per_thread * 0.1)
+        assert (first_shared_use_distance(reorder_registers(k), priv)
+                >= first_shared_use_distance(k, priv))
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_property_mapping_bijective_and_monotone(pairs):
+    k = mk([alu(d, s) for d, s in pairs])
+    m = first_use_mapping(k)
+    assert sorted(m.values()) == list(range(16))
+    # first-use order of new ids is strictly increasing
+    k2 = reorder_registers(k)
+    seen = []
+    for ins in k2.static_instrs:
+        for r in ins.regs:
+            if r not in seen:
+                seen.append(r)
+    assert seen == sorted(seen)

@@ -1,0 +1,119 @@
+"""Workload resource signatures match the paper's Tables II/III/IV."""
+
+import pytest
+
+from repro.workloads.apps import APPS, build_app
+from repro.workloads.suites import SET1, SET2, SET3, suite_apps
+
+#: Table II: (threads/block, registers/thread).
+TABLE2 = {
+    "backprop": (256, 24),
+    "b+tree": (508, 24),
+    "hotspot": (256, 36),
+    "LIB": (192, 36),
+    "MUM": (256, 28),
+    "mri-q": (256, 24),
+    "sgemm": (128, 48),
+    "stencil": (512, 28),
+}
+
+#: Table III: (threads/block, scratchpad bytes/block).
+TABLE3 = {
+    "CONV1": (64, 2560),
+    "CONV2": (128, 5184),
+    "lavaMD": (128, 7200),
+    "NW1": (16, 2180),
+    "NW2": (16, 2180),
+    "SRAD1": (256, 6144),
+    "SRAD2": (256, 5120),
+}
+
+
+class TestTable2Signatures:
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_block_size(self, name):
+        assert APPS[name].kernel().threads_per_block == TABLE2[name][0]
+
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_registers_per_thread(self, name):
+        assert APPS[name].kernel().regs_per_thread == TABLE2[name][1]
+
+
+class TestTable3Signatures:
+    @pytest.mark.parametrize("name", sorted(TABLE3))
+    def test_block_size(self, name):
+        assert APPS[name].kernel().threads_per_block == TABLE3[name][0]
+
+    @pytest.mark.parametrize("name", sorted(TABLE3))
+    def test_scratchpad_per_block(self, name):
+        assert APPS[name].kernel().smem_per_block == TABLE3[name][1]
+
+
+class TestTable4Limiters:
+    @pytest.mark.parametrize("name,limiter", [
+        ("backprop-lf", "threads"), ("BFS", "threads"),
+        ("gaussian", "blocks"), ("NN", "blocks")])
+    def test_limited_by(self, name, limiter):
+        from repro.config import GPUConfig
+        from repro.core.occupancy import occupancy
+        occ = occupancy(APPS[name].kernel(), GPUConfig())
+        assert occ.limiter == limiter
+
+
+class TestSuites:
+    def test_set_membership_counts(self):
+        assert len(SET1) == 8 and len(SET2) == 7 and len(SET3) == 4
+
+    def test_all_apps_registered(self):
+        assert set(SET1 + SET2 + SET3) == set(APPS)
+
+    def test_suite_apps_lookup(self):
+        assert [a.name for a in suite_apps(1)] == list(SET1)
+        assert [a.name for a in suite_apps(2)] == list(SET2)
+        assert [a.name for a in suite_apps(3)] == list(SET3)
+
+    def test_bad_suite_rejected(self):
+        with pytest.raises(ValueError):
+            suite_apps(4)
+
+    def test_set_ids_consistent(self):
+        for sid in (1, 2, 3):
+            for app in suite_apps(sid):
+                assert app.set_id == sid
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_builds_at_multiple_scales(self, name):
+        for scale in (0.2, 1.0, 2.0):
+            k = build_app(name, scale)
+            assert k.dynamic_count > 0
+
+    def test_scale_changes_work(self):
+        assert build_app("hotspot", 2.0).dynamic_count > \
+            build_app("hotspot", 1.0).dynamic_count
+
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            build_app("nosuch")
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_deterministic_build(self, name):
+        assert build_app(name).static_instrs == build_app(name).static_instrs
+
+    def test_lavamd_scratchpad_accesses_stay_private(self):
+        """Paper Sec. VI-B: no lavaMD access falls in the shared region
+        at t = 0.1 (private prefix is 720 B)."""
+        from repro.isa.opcodes import SHARED_OPS
+        k = build_app("lavaMD")
+        priv = int(k.smem_per_block * 0.1)
+        for ins in k.static_instrs:
+            if ins.op in SHARED_OPS:
+                m = ins.mem
+                hi = m.offset if m.wrap == 0 else m.wrap - 1
+                assert hi < priv
+
+    def test_paper_metadata_present(self):
+        for name in SET1 + SET2:
+            assert "fig8_impr" in APPS[name].paper
+            assert "blocks_base" in APPS[name].paper
