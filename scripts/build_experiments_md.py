@@ -4,8 +4,13 @@
 Usage::
 
     python -m repro.harness all --clusters 6 --scale 0.7 --waves 6 \
-        > results.txt
+        --jobs 8 > results.txt
     python scripts/build_experiments_md.py results.txt > EXPERIMENTS.md
+
+Re-running ``all`` with the same settings is nearly free: the harness
+serves previously simulated configurations from the on-disk result
+cache (docs/engine.md), so iterating on the commentary in this script
+does not redo the simulations.
 
 The script pairs each captured experiment table with the paper's
 reported values and a short interpretation, producing the
@@ -153,9 +158,11 @@ creates and warp-level handoff reclaims (the work_variance modelling
 decision of DESIGN.md §4).""",
 }
 
+#: Footer line: ``[fig8c: 1.2s]`` or the engine-era form with a stats
+#: suffix, ``[fig8c: 1.2s | 16 sims, 0 cache hits, jobs 4]``.
 SECTION_RE = re.compile(
     r"== (?P<title>.*?) ==\n(?P<body>.*?)\n\[(?P<id>[a-z0-9_]+): "
-    r"(?P<secs>[0-9.]+)s\]", re.S)
+    r"(?P<secs>[0-9.]+)s(?P<stats>[^\]]*)\]", re.S)
 
 
 def build(log_text: str, settings: str) -> str:

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro analyze <app|file.kasm>       static kernel profile
     python -m repro run <app> [--mode ...]        simulate one app
+    python -m repro trace <app> [--mode ...]      print an issue timeline
     python -m repro disasm <app>                  dump assembly listing
     python -m repro list                          registered apps & modes
 
@@ -19,7 +20,7 @@ from pathlib import Path
 from repro.analysis import analyze, format_analysis
 from repro.config import GPUConfig
 from repro.core.sharing import SharedResource
-from repro.harness.runner import run, shared, unshared
+from repro.harness.runner import shared, unshared
 from repro.isa.assembler import assemble, disassemble
 from repro.isa.kernel import Kernel
 from repro.workloads.apps import APPS
@@ -30,6 +31,8 @@ _MODES = {
     "two_level": lambda: unshared("two_level"),
     "shared-reg": lambda: shared(SharedResource.REGISTERS, "owf",
                                  unroll=True, dyn=True),
+    "shared-reg-er": lambda: shared(SharedResource.REGISTERS, "owf",
+                                    unroll=True, early_release=True),
     "shared-reg-noopt": lambda: shared(SharedResource.REGISTERS, "lrr"),
     "shared-spad": lambda: shared(SharedResource.SCRATCHPAD, "owf"),
 }
@@ -61,6 +64,14 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--clusters", type=int, default=4)
     pr.add_argument("--scale", type=float, default=1.0)
     pr.add_argument("--waves", type=float, default=6.0)
+    pr.add_argument("--jobs", type=int, default=None,
+                    help="engine worker processes (single runs stay "
+                         "in-process; the flag mirrors the harness CLI)")
+    pr.add_argument("--cache-dir", default=None,
+                    help="result-cache directory (default: "
+                         "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    pr.add_argument("--no-cache", action="store_true",
+                    help="disable the on-disk result cache")
 
     pd = sub.add_parser("disasm", help="dump assembly listing")
     pd.add_argument("kernel")
@@ -108,7 +119,8 @@ def main(argv: list[str] | None = None) -> int:
             plan = plan_sharing(kernel, cfg,
                                 SharingSpec(mode.sharing, mode.t))
         gpu = GPU(kernel, cfg, scheduler=mode.scheduler, plan=plan,
-                  dyn=mode.dyn, mode=mode.label)
+                  dyn=mode.dyn, early_release=mode.early_release,
+                  mode=mode.label)
         tr = TraceRecorder(gpu, max_events=200_000)
         res = tr.run()
         print(tr.timeline(sm=args.sm, first=args.first))
@@ -117,12 +129,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     # run — registry apps honour --scale; .kasm files run as written
+    from repro.harness.engine import Engine, RunSpec
     target = APPS.get(args.kernel) or _load_kernel(args.kernel)
     cfg = GPUConfig().scaled(num_clusters=args.clusters)
     mode = _MODES[args.mode]()
-    res = run(target, mode, config=cfg, scale=args.scale, waves=args.waves)
+    engine = Engine(jobs=args.jobs, cache=not args.no_cache,
+                    cache_dir=args.cache_dir)
+    res = engine.run_one(RunSpec.create(target, mode, config=cfg,
+                                        scale=args.scale, waves=args.waves))
+    cached = " (cached)" if engine.stats.hits else ""
     s = res.summary()
-    print(f"{res.kernel} [{res.mode}] on {args.clusters} clusters:")
+    print(f"{res.kernel} [{res.mode}] on {args.clusters} clusters:{cached}")
     for key in ("ipc", "cycles", "instructions", "stall_cycles",
                 "idle_cycles", "max_resident_blocks", "l1_miss_rate",
                 "l2_miss_rate", "dram_requests"):

@@ -1,6 +1,8 @@
 """Experiment harness: run modes, reproduce every paper table/figure."""
 
 from repro.harness.runner import Mode, run, unshared, shared, improvement
+from repro.harness.engine import (Engine, EngineStats, ResultCache, RunSpec,
+                                  default_engine)
 from repro.harness.experiments import EXPERIMENTS, run_experiment, ExperimentResult
 from repro.harness import extensions as _extensions  # registers ext_* experiments
 from repro.harness.report import format_table, render_experiment
@@ -9,6 +11,11 @@ from repro.harness.sweep import Sweep, rows_to_csv
 __all__ = [
     "Mode",
     "run",
+    "Engine",
+    "EngineStats",
+    "ResultCache",
+    "RunSpec",
+    "default_engine",
     "unshared",
     "shared",
     "improvement",

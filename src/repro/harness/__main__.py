@@ -4,7 +4,13 @@ Examples::
 
     python -m repro.harness fig8c
     python -m repro.harness table5 --clusters 14 --scale 2 --waves 4
-    python -m repro.harness all
+    python -m repro.harness all --jobs 8
+
+Runs execute through the shared engine: ``--jobs N`` simulates in N
+worker processes (results are bit-identical to ``--jobs 1``), and the
+content-addressed result cache (``--cache-dir``, ``--no-cache``) makes
+repeat invocations — e.g. re-rendering ``all`` after a report tweak —
+skip every already-simulated configuration.  See docs/engine.md.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import sys
 import time
 
 from repro.config import GPUConfig
+from repro.harness.engine import Engine
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import bar_chart, render_experiment
 
@@ -33,22 +40,36 @@ def main(argv: list[str] | None = None) -> int:
                         "end-of-grid tail effects)")
     p.add_argument("--chart", metavar="COLUMN", default=None,
                    help="also render an ASCII bar chart of COLUMN")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="simulation worker processes (default: "
+                        "$REPRO_JOBS or CPU count; 1 = in-process)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result cache")
     args = p.parse_args(argv)
 
     cfg = GPUConfig().scaled(num_clusters=args.clusters)
+    engine = Engine(jobs=args.jobs, cache=not args.no_cache,
+                    cache_dir=args.cache_dir)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for exp_id in ids:
         t0 = time.perf_counter()
+        sims0, hits0 = engine.stats.sims, engine.stats.hits
         res = run_experiment(exp_id, config=cfg, scale=args.scale,
-                             waves=args.waves)
+                             waves=args.waves, engine=engine)
         dt = time.perf_counter() - t0
+        sims = engine.stats.sims - sims0
+        hits = engine.stats.hits - hits0
         print(render_experiment(res))
         if args.chart and res.rows and args.chart in res.rows[0]:
             label = res.columns[0]
             print(bar_chart(res.rows, label, args.chart))
             print()
-        print(f"[{exp_id}: {dt:.1f}s]\n")
+        print(f"[{exp_id}: {dt:.1f}s | {sims} sims, {hits} cache hits, "
+              f"jobs {engine.jobs}]\n")
     return 0
 
 

@@ -1,0 +1,426 @@
+"""Unified execution engine: RunSpec, parallel executor, result cache.
+
+Every harness entry point (``experiments.py``, :class:`Sweep`, both
+CLIs, the benchmark harness) used to drive :func:`repro.harness.runner.run`
+through its own sequential loop, re-simulating common baselines like
+``Unshared-LRR`` once per figure.  This module centralises scheduling,
+deduplication and persistence of simulations:
+
+* :class:`RunSpec` — a frozen, hashable, JSON-serializable description
+  of one simulation: app (or ad-hoc kernel fingerprint), :class:`Mode`,
+  :class:`GPUConfig`, scale/waves/grid/max_cycles.  ``digest()`` is a
+  content address that also folds in a *code-version salt* (a hash of
+  the simulation-relevant sources), so cached results are invalidated
+  automatically when the simulator changes.
+* :class:`Engine` — executes batches of RunSpecs.  Identical specs in a
+  batch are simulated once; with ``jobs > 1`` unique specs run on a
+  ``ProcessPoolExecutor``; at ``jobs == 1`` a deterministic in-process
+  loop keeps results bit-identical to the historical sequential path
+  (the simulations themselves are deterministic, so the parallel path
+  produces the same bits — only wall-clock changes).
+* :class:`ResultCache` — a content-addressed on-disk store
+  (``~/.cache/repro`` by default, override with ``cache_dir=`` /
+  ``REPRO_CACHE_DIR``) keyed by ``RunSpec.digest()``; entries hold the
+  spec and the full :meth:`RunResult.to_dict` payload.
+* Observability — per-run wall time, hit/miss/dedup counters
+  (:class:`EngineStats`) and a per-completion progress callback
+  (:class:`RunEvent`).
+
+Environment knobs: ``REPRO_JOBS`` (worker count when ``jobs`` is not
+given), ``REPRO_CACHE_DIR`` (cache location), ``REPRO_NO_CACHE=1``
+(disable the disk cache globally).  See docs/engine.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.config import GDDRTimings, GPUConfig, LatencyConfig
+from repro.core.sharing import SharedResource
+from repro.harness.runner import Mode, run
+from repro.isa.kernel import Kernel
+from repro.sim.stats import RunResult
+from repro.workloads.apps import APPS, App
+
+__all__ = ["RunSpec", "Engine", "EngineStats", "RunEvent", "ResultCache",
+           "kernel_fingerprint", "code_salt", "default_engine"]
+
+#: Bump when the cache entry layout changes (independent of code salt).
+CACHE_SCHEMA = 1
+
+#: Sources whose content participates in the code-version salt: anything
+#: that can change simulation results.  Reports/CLI/docs are excluded.
+_SALT_SOURCES = ("config.py", "core", "isa", "mem", "sched", "sim",
+                 "workloads", "harness/runner.py")
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Hash of the simulation-relevant source tree.
+
+    Folded into every :meth:`RunSpec.digest`, so editing the simulator
+    (or the workloads) invalidates all previously cached results without
+    any manual version bookkeeping.
+    """
+    root = Path(__file__).resolve().parent.parent
+    h = hashlib.sha256()
+    for entry in _SALT_SOURCES:
+        p = root / entry
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            h.update(str(f.relative_to(root)).encode())
+            h.update(f.read_bytes())
+    return h.hexdigest()[:16]
+
+
+def kernel_fingerprint(kernel: Kernel) -> str:
+    """Content hash of a built kernel (resources + instruction stream)."""
+    h = hashlib.sha256()
+    h.update(repr((kernel.name, kernel.threads_per_block,
+                   kernel.regs_per_thread, kernel.smem_per_block,
+                   kernel.grid_blocks, kernel.seed,
+                   kernel.work_variance)).encode())
+    for seg in kernel.segments:
+        h.update(f"|x{seg.repeat}|".encode())
+        for ins in seg.instrs:
+            h.update(repr(ins).encode())
+    return h.hexdigest()[:16]
+
+
+def _mode_to_dict(mode: Mode) -> dict:
+    return {
+        "label": mode.label,
+        "scheduler": mode.scheduler,
+        "sharing": mode.sharing.value if mode.sharing is not None else None,
+        "t": mode.t,
+        "unroll": mode.unroll,
+        "dyn": mode.dyn,
+        "early_release": mode.early_release,
+    }
+
+
+def _mode_from_dict(d: dict) -> Mode:
+    sharing = SharedResource(d["sharing"]) if d["sharing"] is not None \
+        else None
+    return Mode(label=d["label"], scheduler=d["scheduler"], sharing=sharing,
+                t=d["t"], unroll=d["unroll"], dyn=d["dyn"],
+                early_release=d["early_release"])
+
+
+def _config_from_dict(d: dict) -> GPUConfig:
+    d = dict(d)
+    d["timings"] = GDDRTimings(**d["timings"])
+    d["latency"] = LatencyConfig(**d["latency"])
+    return GPUConfig(**d)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Canonical description of one simulation.
+
+    Frozen and hashable; :meth:`to_dict` / :meth:`from_dict` give a JSON
+    round trip and :meth:`digest` a stable content address.  ``app`` is
+    a registry name when the target lives in :data:`APPS`; ad-hoc
+    kernels (extension studies, ``.kasm`` files) ride along in the
+    ``kernel`` field, which is excluded from equality/hash — the
+    ``kernel_fp`` fingerprint represents them in the identity.
+    """
+
+    app: str | None
+    kernel_fp: str
+    mode: Mode
+    config: GPUConfig
+    scale: float = 1.0
+    waves: float = 6.0
+    grid_blocks: int | None = None
+    max_cycles: int = 2_000_000
+    #: Pre-built kernel for non-registry targets (identity lives in
+    #: ``kernel_fp``; this field only carries the payload to workers).
+    kernel: Kernel | None = field(default=None, compare=False, repr=False)
+
+    @classmethod
+    def create(cls, target: App | Kernel, mode: Mode, *,
+               config: GPUConfig | None = None, scale: float = 1.0,
+               waves: float = 6.0, grid_blocks: int | None = None,
+               max_cycles: int = 2_000_000) -> "RunSpec":
+        """Build a spec from the same arguments :func:`runner.run` takes."""
+        config = config if config is not None else GPUConfig()
+        if isinstance(target, App):
+            kernel = target.kernel(scale)
+            name = target.name if APPS.get(target.name) is target else None
+        else:
+            kernel, name = target, None
+        return cls(app=name, kernel_fp=kernel_fingerprint(kernel),
+                   mode=mode, config=config, scale=scale, waves=waves,
+                   grid_blocks=grid_blocks, max_cycles=max_cycles,
+                   kernel=None if name is not None else kernel)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ad-hoc kernel payload is reduced
+        to its fingerprint)."""
+        return {
+            "app": self.app,
+            "kernel_fp": self.kernel_fp,
+            "mode": _mode_to_dict(self.mode),
+            "config": asdict(self.config),
+            "scale": self.scale,
+            "waves": self.waves,
+            "grid_blocks": self.grid_blocks,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Only registry-app specs can be fully reconstructed; ad-hoc
+        kernel specs keep their identity (digest) but not the kernel
+        payload, so they cannot be re-executed from JSON.
+        """
+        return cls(app=d["app"], kernel_fp=d["kernel_fp"],
+                   mode=_mode_from_dict(d["mode"]),
+                   config=_config_from_dict(d["config"]),
+                   scale=d["scale"], waves=d["waves"],
+                   grid_blocks=d["grid_blocks"],
+                   max_cycles=d["max_cycles"])
+
+    def digest(self) -> str:
+        """Content address: canonical JSON of the spec + code salt."""
+        payload = json.dumps({"salt": code_salt(), "spec": self.to_dict()},
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def target(self) -> App | Kernel:
+        """The runnable object this spec describes."""
+        if self.app is not None:
+            return APPS[self.app]
+        if self.kernel is None:
+            raise ValueError(
+                "ad-hoc kernel spec has no kernel payload (deserialized "
+                "from JSON?) — only registry-app specs are re-runnable")
+        return self.kernel
+
+    def execute(self) -> RunResult:
+        """Run the simulation this spec describes (no cache, no pool)."""
+        return run(self.target(), self.mode, config=self.config,
+                   scale=self.scale, waves=self.waves,
+                   grid_blocks=self.grid_blocks, max_cycles=self.max_cycles)
+
+
+def _execute_timed(spec: RunSpec) -> tuple[RunResult, float]:
+    """Worker entry point (top-level so it pickles)."""
+    t0 = time.perf_counter()
+    res = spec.execute()
+    return res, time.perf_counter() - t0
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`RunResult` payloads.
+
+    Layout: ``<root>/<digest[:2]>/<digest>.json`` holding the schema
+    version, the spec (for inspection), the result and the simulation
+    wall time.  All I/O failures degrade to cache misses; writes are
+    atomic (temp file + rename) so concurrent engines never observe a
+    torn entry.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root if root is not None
+                         else os.environ.get("REPRO_CACHE_DIR")
+                         or Path.home() / ".cache" / "repro")
+
+    def path(self, digest: str) -> Path:
+        """Entry location for a digest."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> RunResult | None:
+        """Stored result for ``digest``, or None."""
+        try:
+            payload = json.loads(self.path(digest).read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                return None
+            return RunResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, digest: str, spec: RunSpec, result: RunResult,
+            elapsed: float) -> None:
+        """Store ``result`` under ``digest`` (best-effort)."""
+        payload = {"schema": CACHE_SCHEMA, "digest": digest,
+                   "spec": spec.to_dict(), "elapsed": round(elapsed, 6),
+                   "result": result.to_dict()}
+        target = self.path(digest)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as f:
+                    json.dump(payload, f)
+                os.replace(tmp, target)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # a read-only cache dir must never fail the run
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters for one :class:`Engine`."""
+
+    submitted: int = 0       #: specs passed to run_batch
+    deduped: int = 0         #: specs served by an identical one in-batch
+    hits: int = 0            #: specs served from the disk cache
+    misses: int = 0          #: cache lookups that missed
+    sims: int = 0            #: simulations actually executed
+    sim_time: float = 0.0    #: summed per-simulation wall seconds
+    wall_time: float = 0.0   #: wall seconds spent inside run_batch
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Progress-callback payload: one completed (or cache-served) run."""
+
+    index: int           #: 1-based completion order within the batch
+    total: int           #: unique runs in the batch
+    spec: RunSpec
+    result: RunResult
+    cached: bool
+    elapsed: float       #: simulation seconds (0.0 for cache hits)
+
+
+def _default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+class Engine:
+    """Executes batches of :class:`RunSpec`, with dedup, cache and pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` → ``REPRO_JOBS`` or ``os.cpu_count()``;
+        ``1`` → deterministic in-process execution (no pool).
+    cache:
+        ``True`` (default) enables the content-addressed disk cache,
+        ``False`` disables it; a :class:`ResultCache` instance is used
+        as-is.  ``REPRO_NO_CACHE=1`` force-disables.
+    cache_dir:
+        Cache root (default ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    progress:
+        Default per-completion callback receiving a :class:`RunEvent`.
+    """
+
+    def __init__(self, *, jobs: int | None = None,
+                 cache: bool | ResultCache = True,
+                 cache_dir: str | Path | None = None,
+                 progress: Callable[[RunEvent], None] | None = None) -> None:
+        self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
+        if isinstance(cache, ResultCache):
+            self.cache: ResultCache | None = cache
+        elif cache and os.environ.get("REPRO_NO_CACHE") != "1":
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = None
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Convenience wrapper: a batch of one."""
+        return self.run_batch([spec])[0]
+
+    def run_batch(self, specs: Sequence[RunSpec], *,
+                  progress: Callable[[RunEvent], None] | None = None
+                  ) -> list[RunResult]:
+        """Execute ``specs``; returns results aligned with the input.
+
+        Identical specs (same digest) are simulated once; cached results
+        are loaded from disk; the rest run on the pool (``jobs > 1``) or
+        in-process.  Result order is always the submission order, so a
+        parallel batch is bit-identical to a sequential one.
+        """
+        t_batch = time.perf_counter()
+        progress = progress if progress is not None else self.progress
+        order: list[str] = []
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            d = spec.digest()
+            order.append(d)
+            if d in unique:
+                self.stats.deduped += 1
+            else:
+                unique[d] = spec
+        self.stats.submitted += len(specs)
+
+        results: dict[str, RunResult] = {}
+        done = 0
+        total = len(unique)
+
+        def emit(d: str, res: RunResult, cached: bool,
+                 elapsed: float) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(RunEvent(index=done, total=total, spec=unique[d],
+                                  result=res, cached=cached,
+                                  elapsed=elapsed))
+
+        todo: list[str] = []
+        for d, spec in unique.items():
+            if self.cache is not None:
+                hit = self.cache.get(d)
+                if hit is not None:
+                    self.stats.hits += 1
+                    results[d] = hit
+                    emit(d, hit, True, 0.0)
+                    continue
+                self.stats.misses += 1
+            todo.append(d)
+
+        def record(d: str, res: RunResult, elapsed: float) -> None:
+            results[d] = res
+            self.stats.sims += 1
+            self.stats.sim_time += elapsed
+            if self.cache is not None:
+                self.cache.put(d, unique[d], res, elapsed)
+            emit(d, res, False, elapsed)
+
+        if len(todo) > 1 and self.jobs > 1:
+            workers = min(self.jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_timed, unique[d]): d
+                           for d in todo}
+                for fut in as_completed(futures):
+                    res, elapsed = fut.result()
+                    record(futures[fut], res, elapsed)
+        else:
+            for d in todo:
+                res, elapsed = _execute_timed(unique[d])
+                record(d, res, elapsed)
+
+        self.stats.wall_time += time.perf_counter() - t_batch
+        return [results[d] for d in order]
+
+
+_DEFAULT_ENGINE: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """Process-wide engine used when a caller doesn't supply one."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE

@@ -8,18 +8,26 @@ Defaults are laptop-scale: 4 SM clusters instead of 14 and ``waves=3``
 grid waves.  Per-SM resources are untouched, so every occupancy/sharing
 decision matches the full Table I machine; pass
 ``config=GPUConfig()`` for the full-size run.
+
+Simulation-backed experiments build :class:`RunSpec` batches and submit
+them to an :class:`Engine` (``engine=`` kwarg, default the process-wide
+engine), so runs dedupe, parallelise (``--jobs``/``REPRO_JOBS``) and hit
+the content-addressed result cache across figures — the ``Unshared-LRR``
+baseline is simulated once no matter how many artifacts reference it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.config import GPUConfig
 from repro.core.occupancy import occupancy
 from repro.core.overhead import overhead_summary
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
-from repro.harness.runner import Mode, improvement, run, shared, unshared
+from repro.harness.engine import Engine, RunSpec, default_engine
+from repro.harness.runner import Mode, improvement, shared, unshared
+from repro.sim.stats import RunResult
 from repro.workloads.apps import APPS
 from repro.workloads.suites import SET1, SET2, SET3
 
@@ -65,6 +73,26 @@ def _cfg(config: GPUConfig | None) -> GPUConfig:
     return config if config is not None else GPUConfig().scaled(num_clusters=4)
 
 
+def _engine(engine: Engine | None) -> Engine:
+    return engine if engine is not None else default_engine()
+
+
+def _grid_runs(names: Sequence[str], modes: Sequence[Mode],
+               cfg: GPUConfig, scale: float, waves: float,
+               engine: Engine) -> dict[tuple[str, str], RunResult]:
+    """Run the full (app × mode) grid as ONE engine batch.
+
+    Returns results keyed by ``(app_name, mode_label)`` — the shape every
+    figure/table builder consumes.
+    """
+    specs = [RunSpec.create(APPS[name], mode, config=cfg, scale=scale,
+                            waves=waves)
+             for name in names for mode in modes]
+    results = engine.run_batch(specs)
+    keys = [(name, mode.label) for name in names for mode in modes]
+    return dict(zip(keys, results))
+
+
 def _pct_t(pct: int) -> float:
     """Sharing percentage → threshold t; 0 % means t = 1 (no sharing)."""
     return 1.0 - pct / 100.0
@@ -76,7 +104,8 @@ def _pct_t(pct: int) -> float:
 
 @_experiment
 def fig1(config: GPUConfig | None = None, scale: float = 1.0,
-         waves: float = 3.0) -> ExperimentResult:
+         waves: float = 3.0,
+         engine: Engine | None = None) -> ExperimentResult:
     """Fig. 1(a-d): resident blocks and resource underutilisation."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -122,7 +151,8 @@ def _blocks_rows(names: tuple[str, ...], resource: SharedResource,
 
 @_experiment
 def fig8a(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 8(a): resident blocks, register sharing vs baseline."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -135,7 +165,8 @@ def fig8a(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def fig8b(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 8(b): resident blocks, scratchpad sharing vs baseline."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -148,26 +179,28 @@ def fig8b(config: GPUConfig | None = None, scale: float = 1.0,
 
 def _improvement_rows(names: tuple[str, ...], base_mode: Mode,
                       new_mode: Mode, cfg: GPUConfig, scale: float,
-                      waves: float, paper_key: str = "fig8_impr"
-                      ) -> list[dict]:
+                      waves: float, engine: Engine,
+                      paper_key: str = "fig8_impr") -> list[dict]:
+    runs = _grid_runs(names, [base_mode, new_mode], cfg, scale, waves,
+                      engine)
     rows = []
     for name in names:
-        app = APPS[name]
-        base = run(app, base_mode, config=cfg, scale=scale, waves=waves)
-        new = run(app, new_mode, config=cfg, scale=scale, waves=waves)
+        base = runs[name, base_mode.label]
+        new = runs[name, new_mode.label]
         rows.append({
             "app": name,
             "ipc_base": round(base.ipc, 2),
             "ipc_shared": round(new.ipc, 2),
             "improvement_pct": round(improvement(base, new), 2),
-            "paper_pct": app.paper.get(paper_key),
+            "paper_pct": APPS[name].paper.get(paper_key),
         })
     return rows
 
 
 @_experiment
 def fig8c(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 8(c): IPC improvement of register sharing (full stack)."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -176,13 +209,14 @@ def fig8c(config: GPUConfig | None = None, scale: float = 1.0,
         ["app", "ipc_base", "ipc_shared", "improvement_pct", "paper_pct"],
         _improvement_rows(SET1, unshared("lrr"),
                           shared(REG, "owf", unroll=True, dyn=True),
-                          cfg, scale, waves))
+                          cfg, scale, waves, _engine(engine)))
     return res
 
 
 @_experiment
 def fig8d(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 8(d): IPC improvement of scratchpad sharing (Shared-OWF)."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -190,7 +224,7 @@ def fig8d(config: GPUConfig | None = None, scale: float = 1.0,
         "(Shared-OWF vs Unshared-LRR)",
         ["app", "ipc_base", "ipc_shared", "improvement_pct", "paper_pct"],
         _improvement_rows(SET2, unshared("lrr"), shared(SPAD, "owf"),
-                          cfg, scale, waves))
+                          cfg, scale, waves, _engine(engine)))
     return res
 
 
@@ -198,9 +232,26 @@ def fig8d(config: GPUConfig | None = None, scale: float = 1.0,
 # Fig. 9 — optimisation ablations and cycle taxonomy
 # ----------------------------------------------------------------------
 
+def _ablation_rows(names: tuple[str, ...], variants: list[Mode],
+                   cfg: GPUConfig, scale: float, waves: float,
+                   engine: Engine) -> list[dict]:
+    base_mode = unshared("lrr")
+    runs = _grid_runs(names, [base_mode] + variants, cfg, scale, waves,
+                      engine)
+    rows = []
+    for name in names:
+        base = runs[name, base_mode.label]
+        row: dict = {"app": name}
+        for m in variants:
+            row[m.label] = round(improvement(base, runs[name, m.label]), 2)
+        rows.append(row)
+    return rows
+
+
 @_experiment
 def fig9a(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 9(a): register-sharing optimisation ablation."""
     cfg = _cfg(config)
     variants = [
@@ -209,46 +260,29 @@ def fig9a(config: GPUConfig | None = None, scale: float = 1.0,
         shared(REG, "lrr", unroll=True, dyn=True),          # Unroll-Dyn
         shared(REG, "owf", unroll=True, dyn=True),          # OWF-Unroll-Dyn
     ]
-    res = ExperimentResult(
+    return ExperimentResult(
         "fig9a", "Fig 9(a): register sharing ablation (% IPC vs "
         "Unshared-LRR)",
-        ["app"] + [m.label for m in variants])
-    for name in SET1:
-        app = APPS[name]
-        base = run(app, unshared("lrr"), config=cfg, scale=scale,
-                   waves=waves)
-        row: dict = {"app": name}
-        for m in variants:
-            r = run(app, m, config=cfg, scale=scale, waves=waves)
-            row[m.label] = round(improvement(base, r), 2)
-        res.rows.append(row)
-    return res
+        ["app"] + [m.label for m in variants],
+        _ablation_rows(SET1, variants, cfg, scale, waves, _engine(engine)))
 
 
 @_experiment
 def fig9b(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 9(b): scratchpad sharing with/without OWF."""
     cfg = _cfg(config)
     variants = [shared(SPAD, "lrr"), shared(SPAD, "owf")]
-    res = ExperimentResult(
+    return ExperimentResult(
         "fig9b", "Fig 9(b): scratchpad sharing ablation (% IPC vs "
         "Unshared-LRR)",
-        ["app"] + [m.label for m in variants])
-    for name in SET2:
-        app = APPS[name]
-        base = run(app, unshared("lrr"), config=cfg, scale=scale,
-                   waves=waves)
-        row: dict = {"app": name}
-        for m in variants:
-            r = run(app, m, config=cfg, scale=scale, waves=waves)
-            row[m.label] = round(improvement(base, r), 2)
-        res.rows.append(row)
-    return res
+        ["app"] + [m.label for m in variants],
+        _ablation_rows(SET2, variants, cfg, scale, waves, _engine(engine)))
 
 
 def _cycles_rows(names: tuple[str, ...], new_mode: Mode, cfg: GPUConfig,
-                 scale: float, waves: float) -> list[dict]:
+                 scale: float, waves: float, engine: Engine) -> list[dict]:
     """Fig. 9(c)/(d) cycle taxonomy, mapped onto the paper's buckets.
 
     The paper's *idle* cycle is "all the available warps are issued, but
@@ -258,12 +292,13 @@ def _cycles_rows(names: tuple[str, ...], new_mode: Mode, cfg: GPUConfig,
     hazards (MSHR exhaustion).  The columns below use the paper's names
     with that mapping; raw bucket counts are included for transparency.
     """
+    base_mode = unshared("lrr")
+    runs = _grid_runs(names, [base_mode, new_mode], cfg, scale, waves,
+                      engine)
     rows = []
     for name in names:
-        app = APPS[name]
-        base = run(app, unshared("lrr"), config=cfg, scale=scale,
-                   waves=waves)
-        new = run(app, new_mode, config=cfg, scale=scale, waves=waves)
+        base = runs[name, base_mode.label]
+        new = runs[name, new_mode.label]
 
         def dec(b: int, n: int) -> float:
             return 100.0 * (b - n) / b if b else 0.0
@@ -285,7 +320,8 @@ def _cycles_rows(names: tuple[str, ...], new_mode: Mode, cfg: GPUConfig,
 
 @_experiment
 def fig9c(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 9(c): % decrease in stall/idle cycles, register sharing."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -295,7 +331,7 @@ def fig9c(config: GPUConfig | None = None, scale: float = 1.0,
          "base_latency_waits", "shared_latency_waits", "base_structural",
          "shared_structural"],
         _cycles_rows(SET1, shared(REG, "owf", unroll=True, dyn=True),
-                     cfg, scale, waves))
+                     cfg, scale, waves, _engine(engine)))
     res.notes = ("Column mapping: the paper's 'idle' = warps waiting on "
                  "in-flight latencies (our stall bucket); the paper's "
                  "'stall' = pipeline/structural stalls (our MSHR "
@@ -305,7 +341,8 @@ def fig9c(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def fig9d(config: GPUConfig | None = None, scale: float = 1.0,
-          waves: float = 3.0) -> ExperimentResult:
+          waves: float = 3.0,
+          engine: Engine | None = None) -> ExperimentResult:
     """Fig. 9(d): % decrease in stall/idle cycles, scratchpad sharing."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -314,7 +351,8 @@ def fig9d(config: GPUConfig | None = None, scale: float = 1.0,
         ["app", "idle_decrease_pct", "stall_decrease_pct",
          "base_latency_waits", "shared_latency_waits", "base_structural",
          "shared_structural"],
-        _cycles_rows(SET2, shared(SPAD, "owf"), cfg, scale, waves))
+        _cycles_rows(SET2, shared(SPAD, "owf"), cfg, scale, waves,
+                     _engine(engine)))
     res.notes = ("Column mapping as in fig9c.")
     return res
 
@@ -324,13 +362,15 @@ def fig9d(config: GPUConfig | None = None, scale: float = 1.0,
 # ----------------------------------------------------------------------
 
 def _vs_baseline(names: tuple[str, ...], base_sched: str, new_mode: Mode,
-                 cfg: GPUConfig, scale: float, waves: float) -> list[dict]:
+                 cfg: GPUConfig, scale: float, waves: float,
+                 engine: Engine) -> list[dict]:
+    base_mode = unshared(base_sched)
+    runs = _grid_runs(names, [base_mode, new_mode], cfg, scale, waves,
+                      engine)
     rows = []
     for name in names:
-        app = APPS[name]
-        base = run(app, unshared(base_sched), config=cfg, scale=scale,
-                   waves=waves)
-        new = run(app, new_mode, config=cfg, scale=scale, waves=waves)
+        base = runs[name, base_mode.label]
+        new = runs[name, new_mode.label]
         rows.append({
             "app": name,
             "ipc_base": round(base.ipc, 2),
@@ -342,30 +382,34 @@ def _vs_baseline(names: tuple[str, ...], base_sched: str, new_mode: Mode,
 
 @_experiment
 def fig10a(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 10(a): scratchpad sharing vs the GTO baseline."""
     cfg = _cfg(config)
     return ExperimentResult(
         "fig10a", "Fig 10(a): scratchpad sharing vs Unshared-GTO",
         ["app", "ipc_base", "ipc_shared", "improvement_pct"],
-        _vs_baseline(SET2, "gto", shared(SPAD, "owf"), cfg, scale, waves))
+        _vs_baseline(SET2, "gto", shared(SPAD, "owf"), cfg, scale, waves,
+                     _engine(engine)))
 
 
 @_experiment
 def fig10b(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 10(b): register sharing vs the GTO baseline."""
     cfg = _cfg(config)
     return ExperimentResult(
         "fig10b", "Fig 10(b): register sharing vs Unshared-GTO",
         ["app", "ipc_base", "ipc_shared", "improvement_pct"],
         _vs_baseline(SET1, "gto", shared(REG, "owf", unroll=True, dyn=True),
-                     cfg, scale, waves))
+                     cfg, scale, waves, _engine(engine)))
 
 
 @_experiment
 def fig10c(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 10(c): register sharing vs the two-level baseline."""
     cfg = _cfg(config)
     return ExperimentResult(
@@ -373,50 +417,67 @@ def fig10c(config: GPUConfig | None = None, scale: float = 1.0,
         ["app", "ipc_base", "ipc_shared", "improvement_pct"],
         _vs_baseline(SET1, "two_level",
                      shared(REG, "owf", unroll=True, dyn=True),
-                     cfg, scale, waves))
+                     cfg, scale, waves, _engine(engine)))
 
 
 @_experiment
 def fig10d(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 10(d): scratchpad sharing vs the two-level baseline."""
     cfg = _cfg(config)
     return ExperimentResult(
         "fig10d", "Fig 10(d): scratchpad sharing vs Unshared-2LV",
         ["app", "ipc_base", "ipc_shared", "improvement_pct"],
         _vs_baseline(SET2, "two_level", shared(SPAD, "owf"), cfg, scale,
-                     waves))
+                     waves, _engine(engine)))
 
 
 # ----------------------------------------------------------------------
 # Fig. 11 — sharing vs doubling the physical resource
 # ----------------------------------------------------------------------
 
+def _doubling_rows(names: tuple[str, ...], big: GPUConfig,
+                   new_mode: Mode, ipc_col: str, cfg: GPUConfig,
+                   scale: float, waves: float, engine: Engine
+                   ) -> list[dict]:
+    """Fig. 11 grid: 2x-resource LRR baseline vs sharing, pinned grids."""
+    specs = []
+    for name in names:
+        kernel = APPS[name].kernel(scale)
+        grid = max(1, round(waves * cfg.num_sms
+                            * occupancy(kernel, cfg).blocks))
+        specs.append(RunSpec.create(APPS[name], unshared("lrr"),
+                                    config=big, scale=scale,
+                                    grid_blocks=grid))
+        specs.append(RunSpec.create(APPS[name], new_mode, config=cfg,
+                                    scale=scale, grid_blocks=grid))
+    results = engine.run_batch(specs)
+    rows = []
+    for i, name in enumerate(names):
+        base, new = results[2 * i], results[2 * i + 1]
+        rows.append({
+            "app": name,
+            ipc_col: round(base.ipc, 2),
+            "ipc_shared": round(new.ipc, 2),
+            "shared_wins": new.ipc >= base.ipc,
+        })
+    return rows
+
+
 @_experiment
 def fig11a(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 11(a): Unshared-LRR @64K registers vs sharing @32K."""
     from dataclasses import replace
     cfg = _cfg(config)
     big = replace(cfg, registers_per_sm=cfg.registers_per_sm * 2)
     res = ExperimentResult(
         "fig11a", "Fig 11(a): IPC, 2x registers (LRR) vs register sharing",
-        ["app", "ipc_2x_regs", "ipc_shared", "shared_wins"])
-    for name in SET1:
-        app = APPS[name]
-        kernel = app.kernel(scale)
-        grid = max(1, round(waves * cfg.num_sms
-                            * occupancy(kernel, cfg).blocks))
-        base = run(app, unshared("lrr"), config=big, scale=scale,
-                   grid_blocks=grid)
-        new = run(app, shared(REG, "owf", unroll=True, dyn=True),
-                  config=cfg, scale=scale, grid_blocks=grid)
-        res.rows.append({
-            "app": name,
-            "ipc_2x_regs": round(base.ipc, 2),
-            "ipc_shared": round(new.ipc, 2),
-            "shared_wins": new.ipc >= base.ipc,
-        })
+        ["app", "ipc_2x_regs", "ipc_shared", "shared_wins"],
+        _doubling_rows(SET1, big, shared(REG, "owf", unroll=True, dyn=True),
+                       "ipc_2x_regs", cfg, scale, waves, _engine(engine)))
     res.notes = ("Paper: sharing at 32K registers beats the 64K-register "
                  "LRR baseline on 5 of 8 applications.")
     return res
@@ -424,40 +485,40 @@ def fig11a(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def fig11b(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 11(b): Unshared-LRR @32K scratchpad vs sharing @16K."""
     from dataclasses import replace
     cfg = _cfg(config)
     big = replace(cfg, scratchpad_per_sm=cfg.scratchpad_per_sm * 2)
-    res = ExperimentResult(
+    return ExperimentResult(
         "fig11b", "Fig 11(b): IPC, 2x scratchpad (LRR) vs scratchpad "
         "sharing",
-        ["app", "ipc_2x_smem", "ipc_shared", "shared_wins"])
-    for name in SET2:
-        app = APPS[name]
-        kernel = app.kernel(scale)
-        grid = max(1, round(waves * cfg.num_sms
-                            * occupancy(kernel, cfg).blocks))
-        base = run(app, unshared("lrr"), config=big, scale=scale,
-                   grid_blocks=grid)
-        new = run(app, shared(SPAD, "owf"), config=cfg, scale=scale,
-                  grid_blocks=grid)
-        res.rows.append({
-            "app": name,
-            "ipc_2x_smem": round(base.ipc, 2),
-            "ipc_shared": round(new.ipc, 2),
-            "shared_wins": new.ipc >= base.ipc,
-        })
-    return res
+        ["app", "ipc_2x_smem", "ipc_shared", "shared_wins"],
+        _doubling_rows(SET2, big, shared(SPAD, "owf"), "ipc_2x_smem",
+                       cfg, scale, waves, _engine(engine)))
 
 
 # ----------------------------------------------------------------------
 # Fig. 12 — Set-3 (no extra blocks possible)
 # ----------------------------------------------------------------------
 
+def _set3_rows(modes: list[Mode], cfg: GPUConfig, scale: float,
+               waves: float, engine: Engine) -> list[dict]:
+    runs = _grid_runs(SET3, modes, cfg, scale, waves, engine)
+    rows = []
+    for name in SET3:
+        row: dict = {"app": name}
+        for m in modes:
+            row[m.label] = round(runs[name, m.label].ipc, 2)
+        rows.append(row)
+    return rows
+
+
 @_experiment
 def fig12a(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 12(a): Set-3 IPC across scheduler combos, register sharing."""
     cfg = _cfg(config)
     modes = [
@@ -469,13 +530,8 @@ def fig12a(config: GPUConfig | None = None, scale: float = 1.0,
     ]
     res = ExperimentResult(
         "fig12a", "Fig 12(a): Set-3 IPC (register sharing variants)",
-        ["app"] + [m.label for m in modes])
-    for name in SET3:
-        row: dict = {"app": name}
-        for m in modes:
-            r = run(APPS[name], m, config=cfg, scale=scale, waves=waves)
-            row[m.label] = round(r.ipc, 2)
-        res.rows.append(row)
+        ["app"] + [m.label for m in modes],
+        _set3_rows(modes, cfg, scale, waves, _engine(engine)))
     res.notes = ("Paper: Shared-LRR == Unshared-LRR and Shared-GTO == "
                  "Unshared-GTO exactly (no extra blocks are launched); "
                  "Shared-OWF tracks Unshared-GTO.")
@@ -484,7 +540,8 @@ def fig12a(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def fig12b(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Fig. 12(b): Set-3 IPC across scheduler combos, scratchpad."""
     cfg = _cfg(config)
     modes = [
@@ -494,16 +551,10 @@ def fig12b(config: GPUConfig | None = None, scale: float = 1.0,
         shared(SPAD, "gto"),
         shared(SPAD, "owf"),
     ]
-    res = ExperimentResult(
+    return ExperimentResult(
         "fig12b", "Fig 12(b): Set-3 IPC (scratchpad sharing variants)",
-        ["app"] + [m.label for m in modes])
-    for name in SET3:
-        row: dict = {"app": name}
-        for m in modes:
-            r = run(APPS[name], m, config=cfg, scale=scale, waves=waves)
-            row[m.label] = round(r.ipc, 2)
-        res.rows.append(row)
-    return res
+        ["app"] + [m.label for m in modes],
+        _set3_rows(modes, cfg, scale, waves, _engine(engine)))
 
 
 # ----------------------------------------------------------------------
@@ -512,16 +563,20 @@ def fig12b(config: GPUConfig | None = None, scale: float = 1.0,
 
 def _sweep(names: tuple[str, ...], resource: SharedResource,
            scheduler: str, unroll: bool, dyn: bool, cfg: GPUConfig,
-           scale: float, waves: float) -> tuple[list[dict], list[dict]]:
+           scale: float, waves: float, engine: Engine
+           ) -> tuple[list[dict], list[dict]]:
+    modes = [shared(resource, scheduler, t=_pct_t(pct), unroll=unroll,
+                    dyn=dyn) for pct in SHARING_PCTS]
+    specs = [RunSpec.create(APPS[name], mode, config=cfg, scale=scale,
+                            waves=waves)
+             for name in names for mode in modes]
+    results = iter(engine.run_batch(specs))
     ipc_rows, blk_rows = [], []
     for name in names:
-        app = APPS[name]
         ipc_row: dict = {"app": name}
         blk_row: dict = {"app": name}
         for pct in SHARING_PCTS:
-            mode = shared(resource, scheduler, t=_pct_t(pct),
-                          unroll=unroll, dyn=dyn)
-            r = run(app, mode, config=cfg, scale=scale, waves=waves)
+            r = next(results)
             ipc_row[f"{pct}%"] = round(r.ipc, 2)
             blk_row[f"{pct}%"] = r.blocks_total
         ipc_rows.append(ipc_row)
@@ -531,10 +586,12 @@ def _sweep(names: tuple[str, ...], resource: SharedResource,
 
 @_experiment
 def table5(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Table V: IPC vs register-sharing percentage."""
     cfg = _cfg(config)
-    ipc_rows, _ = _sweep(SET1, REG, "owf", True, True, cfg, scale, waves)
+    ipc_rows, _ = _sweep(SET1, REG, "owf", True, True, cfg, scale, waves,
+                         _engine(engine))
     cols = ["app"] + [f"{p}%" for p in SHARING_PCTS]
     return ExperimentResult(
         "table5", "Table V: IPC vs % register sharing", cols, ipc_rows)
@@ -542,7 +599,8 @@ def table5(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def table6(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Table VI: resident blocks vs register-sharing percentage."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -561,11 +619,12 @@ def table6(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def table7(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Table VII: IPC vs scratchpad-sharing percentage."""
     cfg = _cfg(config)
     ipc_rows, _ = _sweep(SET2, SPAD, "owf", False, False, cfg, scale,
-                         waves)
+                         waves, _engine(engine))
     cols = ["app"] + [f"{p}%" for p in SHARING_PCTS]
     return ExperimentResult(
         "table7", "Table VII: IPC vs % scratchpad sharing", cols, ipc_rows)
@@ -573,7 +632,8 @@ def table7(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def table8(config: GPUConfig | None = None, scale: float = 1.0,
-           waves: float = 3.0) -> ExperimentResult:
+           waves: float = 3.0,
+           engine: Engine | None = None) -> ExperimentResult:
     """Table VIII: resident blocks vs scratchpad-sharing percentage."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -596,7 +656,8 @@ def table8(config: GPUConfig | None = None, scale: float = 1.0,
 
 @_experiment
 def hw_overhead(config: GPUConfig | None = None, scale: float = 1.0,
-                waves: float = 3.0) -> ExperimentResult:
+                waves: float = 3.0,
+                engine: Engine | None = None) -> ExperimentResult:
     """Sec. V storage formulas evaluated on the Table I machine."""
     cfg = config if config is not None else GPUConfig()
     s = overhead_summary(cfg)

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from repro.config import GPUConfig
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
+from repro.harness.engine import Engine, RunSpec
 from repro.harness.experiments import (EXPERIMENTS, ExperimentResult,
-                                       _cfg, _experiment)
-from repro.harness.runner import improvement, run, shared, unshared
+                                       _cfg, _engine, _experiment)
+from repro.harness.runner import improvement, shared, unshared
 from repro.isa.builder import KernelBuilder
 from repro.workloads.apps import APPS
 
@@ -61,7 +62,8 @@ TAIL_APP = _App("tailheavy", "extension", 1, "registers", tail_heavy_kernel)
 
 @_experiment
 def ext_early_release(config: GPUConfig | None = None, scale: float = 1.0,
-                      waves: float = 6.0) -> ExperimentResult:
+                      waves: float = 6.0,
+                      engine: Engine | None = None) -> ExperimentResult:
     """Extension: live-range early release (paper Sec. VIII future work)."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -71,13 +73,13 @@ def ext_early_release(config: GPUConfig | None = None, scale: float = 1.0,
         ["app", "ipc_base", "ipc_shared", "ipc_shared_er",
          "impr_shared_pct", "impr_er_pct", "early_releases"])
     apps = [TAIL_APP, APPS["hotspot"], APPS["sgemm"]]
+    modes = [unshared("lrr"), shared(REG, "owf", unroll=True),
+             shared(REG, "owf", unroll=True, early_release=True)]
+    results = iter(_engine(engine).run_batch(
+        [RunSpec.create(app, m, config=cfg, scale=scale, waves=waves)
+         for app in apps for m in modes]))
     for app in apps:
-        base = run(app, unshared("lrr"), config=cfg, scale=scale,
-                   waves=waves)
-        plain = run(app, shared(REG, "owf", unroll=True), config=cfg,
-                    scale=scale, waves=waves)
-        er = run(app, shared(REG, "owf", unroll=True, early_release=True),
-                 config=cfg, scale=scale, waves=waves)
+        base, plain, er = next(results), next(results), next(results)
         res.rows.append({
             "app": app.name,
             "ipc_base": round(base.ipc, 2),
@@ -97,7 +99,8 @@ def ext_early_release(config: GPUConfig | None = None, scale: float = 1.0,
 @_experiment
 def ext_threshold_frontier(config: GPUConfig | None = None,
                            scale: float = 1.0,
-                           waves: float = 6.0) -> ExperimentResult:
+                           waves: float = 6.0,
+                           engine: Engine | None = None) -> ExperimentResult:
     """Ablation: fine-grained IPC/blocks vs threshold t frontier."""
     cfg = _cfg(config)
     res = ExperimentResult(
@@ -106,14 +109,16 @@ def ext_threshold_frontier(config: GPUConfig | None = None,
         ["app", "resource", "t", "sharing_pct", "blocks", "ipc"])
     cases = [("hotspot", REG), ("lavaMD", SPAD)]
     ts = (1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05)
+    results = iter(_engine(engine).run_batch(
+        [RunSpec.create(APPS[name], shared(resource, "owf", t=t,
+                                           unroll=resource is REG),
+                        config=cfg, scale=scale, waves=waves)
+         for name, resource in cases for t in ts]))
     for name, resource in cases:
-        app = APPS[name]
-        kernel = app.kernel(scale)
+        kernel = APPS[name].kernel(scale)
         for t in ts:
             plan = plan_sharing(kernel, cfg, SharingSpec(resource, t))
-            r = run(app, shared(resource, "owf", t=t,
-                                unroll=resource is REG), config=cfg,
-                    scale=scale, waves=waves)
+            r = next(results)
             res.rows.append({
                 "app": name,
                 "resource": resource.value,
@@ -131,7 +136,8 @@ def ext_threshold_frontier(config: GPUConfig | None = None,
 @_experiment
 def ext_cache_sensitivity(config: GPUConfig | None = None,
                           scale: float = 1.0,
-                          waves: float = 6.0) -> ExperimentResult:
+                          waves: float = 6.0,
+                          engine: Engine | None = None) -> ExperimentResult:
     """Ablation: L1 capacity vs the sharing win/loss of cache-bound apps.
 
     The paper attributes mri-q's slowdown and LIB's flat result to L1/L2
@@ -146,14 +152,17 @@ def ext_cache_sensitivity(config: GPUConfig | None = None,
         "Ablation: register-sharing gain vs L1 capacity (cache-bound apps)",
         ["app", "l1_kb", "ipc_base", "ipc_shared", "improvement_pct",
          "l1_miss_base", "l1_miss_shared"])
-    for name in ("mri-q", "LIB"):
-        app = APPS[name]
-        for l1_kb in (8, 16, 32, 64):
-            c = replace(cfg, l1_size=l1_kb * KB)
-            base = run(app, unshared("lrr"), config=c, scale=scale,
-                       waves=waves)
-            best = run(app, shared(REG, "owf", unroll=True), config=c,
-                       scale=scale, waves=waves)
+    names = ("mri-q", "LIB")
+    l1_sizes = (8, 16, 32, 64)
+    modes = [unshared("lrr"), shared(REG, "owf", unroll=True)]
+    results = iter(_engine(engine).run_batch(
+        [RunSpec.create(APPS[name], m,
+                        config=replace(cfg, l1_size=l1_kb * KB),
+                        scale=scale, waves=waves)
+         for name in names for l1_kb in l1_sizes for m in modes]))
+    for name in names:
+        for l1_kb in l1_sizes:
+            base, best = next(results), next(results)
             res.rows.append({
                 "app": name,
                 "l1_kb": l1_kb,
@@ -172,7 +181,9 @@ def ext_cache_sensitivity(config: GPUConfig | None = None,
 @_experiment
 def ext_variance_sensitivity(config: GPUConfig | None = None,
                              scale: float = 1.0,
-                             waves: float = 6.0) -> ExperimentResult:
+                             waves: float = 6.0,
+                             engine: Engine | None = None
+                             ) -> ExperimentResult:
     """Ablation: sharing gain vs per-warp work imbalance.
 
     Warp-level register handoff converts the block-drain phase (fast
@@ -202,12 +213,14 @@ def ext_variance_sensitivity(config: GPUConfig | None = None,
             return b.build()
         return _App(f"hotspot-v{v}", "extension", 1, "registers", build)
 
-    for v in (0.0, 0.15, 0.3, 0.45, 0.6):
-        app = hotspot_like(v)
-        base = run(app, unshared("lrr"), config=cfg, scale=scale,
-                   waves=waves)
-        best = run(app, shared(REG, "owf", unroll=True), config=cfg,
-                   scale=scale, waves=waves)
+    variances = (0.0, 0.15, 0.3, 0.45, 0.6)
+    modes = [unshared("lrr"), shared(REG, "owf", unroll=True)]
+    results = iter(_engine(engine).run_batch(
+        [RunSpec.create(hotspot_like(v), m, config=cfg, scale=scale,
+                        waves=waves)
+         for v in variances for m in modes]))
+    for v in variances:
+        base, best = next(results), next(results)
         res.rows.append({
             "variance": v,
             "ipc_base": round(base.ipc, 2),

@@ -1,13 +1,17 @@
 """Batch sweeps over (app × mode × config) with CSV export.
 
 The experiment registry reproduces the paper's artifacts; this module is
-the general tool behind it for ad-hoc studies: build a grid of runs,
-execute them (optionally caching identical configurations), and export a
-flat table ready for any plotting tool.
+the general tool behind it for ad-hoc studies: build a grid of runs and
+execute it through the unified :class:`~repro.harness.engine.Engine` —
+duplicate (app × mode) grid entries are simulated once, ``jobs=`` runs
+unique entries in parallel worker processes, and ``cache=True`` serves
+repeated sweeps from the content-addressed on-disk result cache — then
+export a flat table ready for any plotting tool.
 
 Example::
 
-    sweep = Sweep(config=GPUConfig().scaled(num_clusters=4))
+    sweep = Sweep(config=GPUConfig().scaled(num_clusters=4),
+                  jobs=4, cache=True)
     sweep.add_apps(["hotspot", "MUM"])
     sweep.add_modes([unshared("lrr"), unshared("gto"),
                      shared(SharedResource.REGISTERS, "owf", unroll=True)])
@@ -17,11 +21,14 @@ Example::
 
 from __future__ import annotations
 
+import csv
 import io
+from pathlib import Path
 from typing import Iterable
 
 from repro.config import GPUConfig
-from repro.harness.runner import Mode, run
+from repro.harness.engine import Engine, ResultCache, RunEvent, RunSpec
+from repro.harness.runner import Mode
 from repro.sim.stats import RunResult
 from repro.workloads.apps import APPS, App
 
@@ -66,22 +73,41 @@ def result_row(res: RunResult, *, clusters: int, scale: float,
 
 
 def rows_to_csv(rows: Iterable[dict]) -> str:
-    """Render rows as CSV text with the standard column set."""
+    """Render rows as CSV text with the standard column set.
+
+    Uses the stdlib :mod:`csv` writer, so fields containing commas,
+    quotes or newlines (e.g. exotic mode labels) are escaped correctly.
+    """
     out = io.StringIO()
-    out.write(",".join(CSV_COLUMNS) + "\n")
+    writer = csv.DictWriter(out, fieldnames=CSV_COLUMNS, restval="",
+                            extrasaction="ignore", lineterminator="\n")
+    writer.writeheader()
     for r in rows:
-        out.write(",".join(str(r.get(c, "")) for c in CSV_COLUMNS) + "\n")
+        writer.writerow(r)
     return out.getvalue()
 
 
 class Sweep:
-    """A grid of (app × mode) runs on one machine configuration."""
+    """A grid of (app × mode) runs on one machine configuration.
+
+    ``jobs``/``cache``/``cache_dir`` configure the private
+    :class:`Engine` used for execution (``cache`` defaults to off — an
+    ad-hoc study tool shouldn't write to disk unless asked); pass
+    ``engine=`` to share an engine (and its statistics/cache) with other
+    callers.
+    """
 
     def __init__(self, *, config: GPUConfig | None = None,
-                 scale: float = 1.0, waves: float = 6.0) -> None:
+                 scale: float = 1.0, waves: float = 6.0,
+                 jobs: int | None = None,
+                 cache: bool | ResultCache = False,
+                 cache_dir: str | Path | None = None,
+                 engine: Engine | None = None) -> None:
         self.config = config if config is not None else GPUConfig()
         self.scale = scale
         self.waves = waves
+        self.engine = engine if engine is not None else Engine(
+            jobs=jobs, cache=cache, cache_dir=cache_dir)
         self._apps: list[App] = []
         self._modes: list[Mode] = []
         self.rows: list[dict] = []
@@ -100,25 +126,43 @@ class Sweep:
 
     @property
     def size(self) -> int:
-        """Number of simulations the sweep will run."""
+        """Number of grid entries (identical entries simulate once)."""
         return len(self._apps) * len(self._modes)
 
     # -- execution --------------------------------------------------------
     def run(self, progress: bool = False) -> list[dict]:
-        """Execute the grid; returns (and stores) the flat rows."""
+        """Execute the grid; returns (and stores) the flat rows.
+
+        Identical (app × mode) entries are deduplicated: the grid
+        simulates each unique configuration once and emits one row for
+        it.  With ``jobs > 1`` unique runs execute in parallel; the row
+        order (and every value) is independent of the worker count.
+        """
         if not self._apps or not self._modes:
             raise ValueError("sweep needs at least one app and one mode")
-        self.rows = []
+        specs: list[RunSpec] = []
+        seen: set[str] = set()
         for app in self._apps:
             for mode in self._modes:
-                res = run(app, mode, config=self.config, scale=self.scale,
-                          waves=self.waves)
-                self.rows.append(result_row(
-                    res, clusters=self.config.num_clusters,
-                    scale=self.scale, waves=self.waves))
-                if progress:  # pragma: no cover - console nicety
-                    print(f"  {app.name} / {mode.label}: "
-                          f"IPC {res.ipc:.2f}")
+                spec = RunSpec.create(app, mode, config=self.config,
+                                      scale=self.scale, waves=self.waves)
+                digest = spec.digest()
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                specs.append(spec)
+
+        callback = None
+        if progress:  # pragma: no cover - console nicety
+            def callback(ev: RunEvent) -> None:
+                tag = " (cached)" if ev.cached else ""
+                print(f"  [{ev.index}/{ev.total}] {ev.result.kernel} / "
+                      f"{ev.result.mode}: IPC {ev.result.ipc:.2f}{tag}")
+
+        results = self.engine.run_batch(specs, progress=callback)
+        self.rows = [result_row(res, clusters=self.config.num_clusters,
+                                scale=self.scale, waves=self.waves)
+                     for res in results]
         return self.rows
 
     def to_csv(self) -> str:

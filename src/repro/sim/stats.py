@@ -15,7 +15,7 @@ The cycle taxonomy follows the paper's Fig. 9 definitions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 __all__ = ["SMStats", "RunResult"]
 
@@ -59,6 +59,15 @@ class SMStats:
         """Idle + empty: the paper's 'idle cycles' bucket."""
         return self.idle_cycles + self.empty_cycles
 
+    def to_dict(self) -> dict:
+        """Flat JSON-serializable form (all counters)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SMStats":
+        """Inverse of :meth:`to_dict` (exact round trip)."""
+        return cls(**d)
+
 
 @dataclass
 class RunResult:
@@ -93,6 +102,31 @@ class RunResult:
     def max_resident_blocks(self) -> int:
         """Peak blocks resident on any SM (paper Fig. 8a/8b metric)."""
         return max((s.max_resident_blocks for s in self.sm_stats), default=0)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` restores it exactly
+        (ints stay ints, floats stay floats — the engine's disk cache
+        relies on the round trip being bit-exact)."""
+        return {
+            "kernel": self.kernel,
+            "mode": self.mode,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "sm_stats": [s.to_dict() for s in self.sm_stats],
+            "mem": dict(self.mem),
+            "blocks_baseline": self.blocks_baseline,
+            "blocks_total": self.blocks_total,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kernel=d["kernel"], mode=d["mode"], cycles=d["cycles"],
+            instructions=d["instructions"],
+            sm_stats=[SMStats.from_dict(s) for s in d["sm_stats"]],
+            mem=dict(d["mem"]), blocks_baseline=d["blocks_baseline"],
+            blocks_total=d["blocks_total"])
 
     def summary(self) -> dict[str, float]:
         """Flat dict of the headline numbers (for reports/tests)."""

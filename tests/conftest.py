@@ -1,0 +1,16 @@
+"""Shared test fixtures.
+
+The engine's result cache defaults to ``~/.cache/repro``; tests must
+not read from (stale results from another checkout) or write to (pollution)
+the user's real cache, so every test gets a private cache directory.
+Tests that exercise cache behaviour explicitly pass their own
+``cache_dir`` and are unaffected.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(monkeypatch, tmp_path_factory):
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("repro-cache")))

@@ -41,6 +41,14 @@ class TestReproCli:
         out = capsys.readouterr().out
         assert "ipc" in out and "cycles" in out
 
+    def test_run_warm_cache(self, tmp_path, capsys):
+        argv = ["run", "gaussian", "--clusters", "1", "--scale", "0.2",
+                "--waves", "1", "--cache-dir", str(tmp_path)]
+        assert repro_main(argv) == 0
+        assert "(cached)" not in capsys.readouterr().out
+        assert repro_main(argv) == 0
+        assert "(cached)" in capsys.readouterr().out
+
     def test_unknown_app_errors(self):
         with pytest.raises(SystemExit):
             repro_main(["analyze", "nosuchapp"])
@@ -61,6 +69,21 @@ class TestHarnessCli:
         with pytest.raises(ValueError):
             harness_main(["fig99"])
 
+    def test_stats_footer(self, capsys):
+        assert harness_main(["fig8c", "--clusters", "1", "--scale", "0.15",
+                             "--waves", "1", "--no-cache",
+                             "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "| 16 sims, 0 cache hits, jobs 1]" in out
+
+    def test_warm_cache_zero_sims(self, tmp_path, capsys):
+        argv = ["fig8c", "--clusters", "1", "--scale", "0.15", "--waves",
+                "1", "--jobs", "1", "--cache-dir", str(tmp_path)]
+        assert harness_main(argv) == 0
+        capsys.readouterr()
+        assert harness_main(argv) == 0
+        assert "| 0 sims, 16 cache hits," in capsys.readouterr().out
+
 
 class TestTraceCli:
     def test_trace_timeline(self, capsys):
@@ -73,3 +96,20 @@ class TestTraceCli:
                            "shared-reg-noopt", "--first", "5"]) == 0
         out = capsys.readouterr().out
         assert "OWN" in out or "NON" in out
+
+    def test_trace_early_release_mode(self, capsys, monkeypatch):
+        # regression: trace used to drop mode.early_release when building
+        # the GPU, silently tracing plain sharing instead
+        import repro.sim.gpu as gpu_mod
+        seen = {}
+        real_gpu = gpu_mod.GPU
+
+        def spy(*args, **kwargs):
+            seen.update(kwargs)
+            return real_gpu(*args, **kwargs)
+
+        monkeypatch.setattr(gpu_mod, "GPU", spy)
+        assert repro_main(["trace", "hotspot", "--mode", "shared-reg-er",
+                           "--first", "5"]) == 0
+        assert seen.get("early_release") is True
+        assert "IPC" in capsys.readouterr().out

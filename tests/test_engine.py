@@ -1,0 +1,227 @@
+"""Execution engine: RunSpec digests, result cache, parallel equality."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.config import GPUConfig
+from repro.core.sharing import SharedResource
+from repro.harness.engine import (Engine, ResultCache, RunSpec, code_salt,
+                                  kernel_fingerprint)
+from repro.harness.runner import run, shared, unshared
+from repro.workloads.apps import APPS
+
+CFG = GPUConfig().scaled(num_clusters=1)
+FAST = dict(config=CFG, scale=0.15, waves=1.0)
+
+
+def spec(app="gaussian", mode=None, **kw):
+    params = {**FAST, **kw}
+    return RunSpec.create(APPS[app], mode or unshared("lrr"), **params)
+
+
+class TestRunSpec:
+    def test_hashable_and_equal(self):
+        assert spec() == spec()
+        assert hash(spec()) == hash(spec())
+        assert spec() != spec(mode=unshared("gto"))
+
+    def test_digest_stable_within_process(self):
+        assert spec().digest() == spec().digest()
+
+    def test_digest_distinguishes_every_knob(self):
+        base = spec()
+        variants = [
+            spec(app="hotspot"),
+            spec(mode=unshared("gto")),
+            spec(mode=shared(SharedResource.REGISTERS, "owf", unroll=True)),
+            spec(scale=0.2),
+            spec(waves=2.0),
+            spec(config=GPUConfig().scaled(num_clusters=2)),
+            spec(grid_blocks=7),
+            spec(max_cycles=1000),
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_stable_across_processes(self):
+        d = spec(mode=shared(SharedResource.SCRATCHPAD, "owf", t=0.3)).digest()
+        src = Path(repro.__file__).resolve().parent.parent
+        code = (
+            "from repro.config import GPUConfig\n"
+            "from repro.core.sharing import SharedResource\n"
+            "from repro.harness.engine import RunSpec\n"
+            "from repro.harness.runner import shared\n"
+            "from repro.workloads.apps import APPS\n"
+            "print(RunSpec.create(APPS['gaussian'],"
+            " shared(SharedResource.SCRATCHPAD, 'owf', t=0.3),"
+            " config=GPUConfig().scaled(num_clusters=1),"
+            " scale=0.15, waves=1.0).digest())\n")
+        out = subprocess.run([sys.executable, "-c", code],
+                             capture_output=True, text=True, check=True,
+                             env={**os.environ, "PYTHONPATH": str(src)})
+        assert out.stdout.strip() == d
+
+    def test_dict_round_trip(self):
+        s = spec(mode=shared(SharedResource.REGISTERS, "owf", t=0.5,
+                             unroll=True, dyn=True))
+        restored = RunSpec.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert restored == s
+        assert restored.digest() == s.digest()
+
+    def test_execute_matches_runner(self):
+        s = spec()
+        assert s.execute() == run(APPS["gaussian"], unshared("lrr"), **FAST)
+
+    def test_adhoc_kernel_spec(self):
+        kernel = APPS["gaussian"].kernel(FAST["scale"])
+        s = RunSpec.create(kernel, unshared("lrr"), config=CFG, waves=1.0)
+        assert s.app is None and s.kernel is kernel
+        assert s.kernel_fp == kernel_fingerprint(kernel)
+
+    def test_deserialized_adhoc_spec_not_runnable(self):
+        kernel = APPS["gaussian"].kernel(FAST["scale"])
+        s = RunSpec.create(kernel, unshared("lrr"), config=CFG)
+        restored = RunSpec.from_dict(s.to_dict())
+        with pytest.raises(ValueError, match="ad-hoc"):
+            restored.target()
+
+    def test_code_salt_in_digest(self):
+        # digest == sha256 over {salt, spec}; same spec + same tree → same
+        # digest, and the salt is a fixed-size hex string
+        assert len(code_salt()) == 16
+        int(code_salt(), 16)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        res = s.execute()
+        cache.put(s.digest(), s, res, 0.5)
+        assert cache.get(s.digest()) == res
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        d = spec().digest()
+        cache.path(d).parent.mkdir(parents=True)
+        cache.path(d).write_text("{not json")
+        assert cache.get(d) is None
+
+    def test_schema_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        cache.put(s.digest(), s, s.execute(), 0.0)
+        payload = json.loads(cache.path(s.digest()).read_text())
+        payload["schema"] = 999
+        cache.path(s.digest()).write_text(json.dumps(payload))
+        assert cache.get(s.digest()) is None
+
+    def test_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        d = "ab" + "0" * 62
+        assert cache.path(d) == tmp_path / "ab" / f"{d}.json"
+
+
+class TestEngine:
+    def test_hit_miss_counters(self, tmp_path):
+        eng = Engine(jobs=1, cache_dir=tmp_path)
+        s = spec()
+        r1 = eng.run_one(s)
+        assert (eng.stats.sims, eng.stats.hits, eng.stats.misses) == (1, 0, 1)
+        r2 = eng.run_one(s)
+        assert (eng.stats.sims, eng.stats.hits) == (1, 1)
+        assert r1 == r2
+
+    def test_cache_shared_between_engines(self, tmp_path):
+        s = spec()
+        Engine(jobs=1, cache_dir=tmp_path).run_one(s)
+        eng2 = Engine(jobs=1, cache_dir=tmp_path)
+        eng2.run_one(s)
+        assert eng2.stats.sims == 0 and eng2.stats.hits == 1
+
+    def test_no_cache(self, tmp_path):
+        eng = Engine(jobs=1, cache=False)
+        eng.run_one(spec())
+        eng.run_one(spec())
+        assert eng.stats.sims == 2 and eng.stats.hits == 0
+
+    def test_batch_dedupes(self):
+        eng = Engine(jobs=1, cache=False)
+        a, b = spec(), spec(mode=unshared("gto"))
+        results = eng.run_batch([a, b, a, a])
+        assert eng.stats.sims == 2 and eng.stats.deduped == 2
+        assert results[0] == results[2] == results[3]
+        assert results[0] != results[1]
+
+    def test_progress_events(self, tmp_path):
+        events = []
+        eng = Engine(jobs=1, cache_dir=tmp_path, progress=events.append)
+        eng.run_batch([spec(), spec(mode=unshared("gto"))])
+        assert [e.index for e in events] == [1, 2]
+        assert all(e.total == 2 and not e.cached and e.elapsed > 0
+                   for e in events)
+        eng.run_one(spec())
+        assert events[-1].cached and events[-1].elapsed == 0.0
+
+    def test_cached_result_equals_fresh(self, tmp_path):
+        s = spec(mode=shared(SharedResource.REGISTERS, "owf", unroll=True))
+        eng = Engine(jobs=1, cache_dir=tmp_path)
+        fresh = eng.run_one(s)
+        via_cache = Engine(jobs=1, cache_dir=tmp_path).run_one(s)
+        assert via_cache == fresh          # dataclass deep equality
+        assert via_cache.to_dict() == fresh.to_dict()
+
+    def test_parallel_bit_identical_to_sequential(self):
+        # two SET1 apps × two modes, jobs=2 forces the process pool
+        specs = [spec(app=a, mode=m)
+                 for a in ("gaussian", "hotspot")
+                 for m in (unshared("lrr"),
+                           shared(SharedResource.REGISTERS, "owf",
+                                  unroll=True))]
+        seq = Engine(jobs=1, cache=False).run_batch(specs)
+        par = Engine(jobs=2, cache=False).run_batch(specs)
+        assert par == seq
+        assert [r.to_dict() for r in par] == [r.to_dict() for r in seq]
+
+    def test_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert Engine(cache=False).jobs == 3
+        assert Engine(jobs=1, cache=False).jobs == 1
+
+    def test_no_cache_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert Engine(cache_dir=tmp_path).cache is None
+
+
+class TestExperimentIntegration:
+    """The acceptance criteria: warm cache ⇒ zero simulations."""
+
+    def _fig8c(self, engine):
+        from repro.harness.experiments import run_experiment
+        return run_experiment("fig8c", config=CFG, scale=0.15, waves=1.0,
+                              engine=engine)
+
+    def test_fig8c_second_run_zero_sims(self, tmp_path):
+        cold = Engine(jobs=1, cache_dir=tmp_path)
+        first = self._fig8c(cold)
+        assert cold.stats.sims > 0
+
+        warm = Engine(jobs=1, cache_dir=tmp_path)
+        second = self._fig8c(warm)
+        assert warm.stats.sims == 0
+        assert warm.stats.hits == cold.stats.sims
+        assert second.rows == first.rows
+
+    def test_experiment_rows_independent_of_jobs(self, tmp_path):
+        seq = self._fig8c(Engine(jobs=1, cache=False))
+        par = self._fig8c(Engine(jobs=2, cache=False))
+        assert par.rows == seq.rows

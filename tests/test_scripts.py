@@ -75,6 +75,14 @@ class TestBuildExperimentsMd:
         out = build_mod.build(log, "s")
         assert out.index("## fig1") < out.index("## zz_custom")
 
+    def test_engine_stats_footer_parsed(self):
+        # the harness CLI now appends engine stats to the timing line
+        log = HARNESS_LOG.replace(
+            "[fig1: 0.0s]", "[fig1: 0.0s | 16 sims, 0 cache hits, jobs 4]")
+        out = build_mod.build(log, "s")
+        assert "## fig1 — Fig 1: resident thread blocks" in out
+        assert "regenerated in 0s" in out
+
 
 class TestSpliceBenchSections:
     def test_section_regex_finds_bench_tables(self):

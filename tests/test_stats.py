@@ -1,6 +1,10 @@
-"""SMStats / RunResult accounting."""
+"""SMStats / RunResult accounting and serialization."""
+
+import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.stats import RunResult, SMStats
 
@@ -66,3 +70,66 @@ class TestRunResult:
         assert s["l1_miss_rate"] == 0.5
         assert s["dram_requests"] == 42.0
         assert s["max_resident_blocks"] == 6
+
+
+counters = st.integers(min_value=0, max_value=10**9)
+
+sm_stats_st = st.builds(
+    SMStats,
+    sm_id=st.integers(min_value=0, max_value=63),
+    instructions=counters, mem_instructions=counters,
+    active_cycles=counters, stall_cycles=counters, idle_cycles=counters,
+    empty_cycles=counters, issued_unshared=counters, issued_owner=counters,
+    issued_nonowner=counters, lock_acquires=counters, lock_waits=counters,
+    dyn_refusals=counters, early_releases=counters, mshr_stalls=counters,
+    barriers=counters, blocks_launched=counters, blocks_completed=counters,
+    max_resident_blocks=counters)
+
+run_result_st = st.builds(
+    RunResult,
+    kernel=st.text(max_size=20), mode=st.text(max_size=20),
+    cycles=counters, instructions=counters,
+    sm_stats=st.lists(sm_stats_st, max_size=4),
+    mem=st.dictionaries(
+        st.text(min_size=1, max_size=12),
+        st.one_of(counters,
+                  st.floats(min_value=0, max_value=1e9,
+                            allow_nan=False, allow_infinity=False)),
+        max_size=5),
+    blocks_baseline=counters, blocks_total=counters)
+
+
+class TestSerialization:
+    """The engine's disk cache requires a bit-exact JSON round trip."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(sm_stats_st)
+    def test_sm_stats_round_trip(self, s):
+        assert SMStats.from_dict(s.to_dict()) == s
+
+    @settings(max_examples=50, deadline=None)
+    @given(run_result_st)
+    def test_run_result_round_trip(self, r):
+        restored = RunResult.from_dict(r.to_dict())
+        assert restored == r
+        assert restored.ipc == r.ipc
+        assert restored.stall_cycles == r.stall_cycles
+
+    @settings(max_examples=50, deadline=None)
+    @given(run_result_st)
+    def test_round_trip_survives_json(self, r):
+        # through an actual JSON string, as the cache stores it: ints must
+        # stay ints, floats floats, per-SM counters exact
+        restored = RunResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert restored == r
+        assert restored.to_dict() == r.to_dict()
+        for orig, back in zip(r.sm_stats, restored.sm_stats):
+            assert type(back.instructions) is int
+            assert back == orig
+
+    def test_mutating_copy_not_aliased(self):
+        r = RunResult(kernel="k", mode="m", cycles=1, instructions=1,
+                      mem={"x": 1})
+        d = r.to_dict()
+        d["mem"]["x"] = 2
+        assert r.mem["x"] == 1

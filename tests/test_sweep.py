@@ -76,3 +76,50 @@ class TestRowsToCsv:
         line = text.strip().splitlines()[1]
         assert line.startswith("x,")
         assert line.split(",")[6] == ""  # cycles missing -> blank
+
+    def test_extra_keys_ignored(self):
+        text = rows_to_csv([{"app": "x", "not_a_column": 9}])
+        assert "not_a_column" not in text
+        assert "9" not in text
+
+    def test_comma_in_field_quoted(self):
+        import csv
+        import io
+        text = rows_to_csv([{"app": "x", "mode": "Shared,OWF"}])
+        (row,) = list(csv.DictReader(io.StringIO(text)))
+        assert row["mode"] == "Shared,OWF"
+        assert row["clusters"] == ""
+
+
+class TestSweepEngine:
+    def test_duplicate_grid_entries_simulated_once(self):
+        s = Sweep(**FAST)
+        s.add_apps(["gaussian"])
+        s.add_modes([unshared("lrr"), unshared("gto"), unshared("lrr")])
+        assert s.size == 3
+        rows = s.run()
+        assert len(rows) == 2  # one row per unique run
+        assert s.engine.stats.sims == 2
+
+    def test_cache_knob(self, tmp_path):
+        s1 = Sweep(**FAST, cache=True, cache_dir=tmp_path)
+        s1.add_apps(["gaussian"]).add_modes([unshared("lrr")])
+        s1.run()
+        assert s1.engine.stats.sims == 1
+
+        s2 = Sweep(**FAST, cache=True, cache_dir=tmp_path)
+        s2.add_apps(["gaussian"]).add_modes([unshared("lrr")])
+        rows = s2.run()
+        assert s2.engine.stats.sims == 0 and s2.engine.stats.hits == 1
+        assert rows == s1.rows
+
+    def test_cache_off_by_default(self):
+        assert Sweep(**FAST).engine.cache is None
+
+    def test_shared_engine(self):
+        from repro.harness.engine import Engine
+        eng = Engine(jobs=1, cache=False)
+        s = Sweep(**FAST, engine=eng)
+        s.add_apps(["gaussian"]).add_modes([unshared("lrr")])
+        s.run()
+        assert eng.stats.sims == 1
