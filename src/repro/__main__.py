@@ -72,6 +72,16 @@ def main(argv: list[str] | None = None) -> int:
                          "$REPRO_CACHE_DIR or ~/.cache/repro)")
     pr.add_argument("--no-cache", action="store_true",
                     help="disable the on-disk result cache")
+    pr.add_argument("--max-cycles", type=int, default=2_000_000,
+                    help="simulation cycle limit (default 2,000,000)")
+    pr.add_argument("--timeout", type=float, default=None,
+                    help="wall-clock budget in seconds for the run")
+    pr.add_argument("--retries", type=int, default=None,
+                    help="max attempts for transient failures (default 3)")
+    pr.add_argument("--fail-fast", action="store_true",
+                    help="re-raise failures instead of reporting them")
+    pr.add_argument("--sanitize", action="store_true",
+                    help="validate runtime invariants during the run")
 
     pd = sub.add_parser("disasm", help="dump assembly listing")
     pd.add_argument("kernel")
@@ -130,13 +140,24 @@ def main(argv: list[str] | None = None) -> int:
 
     # run — registry apps honour --scale; .kasm files run as written
     from repro.harness.engine import Engine, RunSpec
+    from repro.harness.resilience import RetryPolicy, RunFailure
     target = APPS.get(args.kernel) or _load_kernel(args.kernel)
     cfg = GPUConfig().scaled(num_clusters=args.clusters)
     mode = _MODES[args.mode]()
+    retry = RetryPolicy(max_attempts=max(1, args.retries)) \
+        if args.retries is not None else None
     engine = Engine(jobs=args.jobs, cache=not args.no_cache,
-                    cache_dir=args.cache_dir)
+                    cache_dir=args.cache_dir, timeout=args.timeout,
+                    retry=retry, fail_fast=args.fail_fast,
+                    sanitize=args.sanitize or None)
     res = engine.run_one(RunSpec.create(target, mode, config=cfg,
-                                        scale=args.scale, waves=args.waves))
+                                        scale=args.scale, waves=args.waves,
+                                        max_cycles=args.max_cycles))
+    if isinstance(res, RunFailure):
+        print(f"RUN FAILED [{res.category}] {res.app} [{res.mode}]: "
+              f"{res.exception_type} after {res.attempts} attempt(s)\n"
+              f"  {res.message}", file=sys.stderr)
+        return 1
     cached = " (cached)" if engine.stats.hits else ""
     s = res.summary()
     print(f"{res.kernel} [{res.mode}] on {args.clusters} clusters:{cached}")

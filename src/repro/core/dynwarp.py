@@ -16,6 +16,12 @@ per-cycle retry would reduce ``p`` to a one-cycle delay, so we block the
 refused warp until the end of the current monitoring window (see
 DESIGN.md §4).  Draws come from a seeded PCG64 stream per SM, so runs are
 deterministic.
+
+One escape hatch lives in ``SMCore._dyn_critical``: a non-owner warp
+whose block holds a shared pool that a partner-side warp is lock-blocked
+on is never refused.  Without it, SM0 (``p`` pinned to 0) would refuse
+such a warp forever and livelock the pair — the owner waits on a pool
+that only the throttled block can release.
 """
 
 from __future__ import annotations

@@ -116,6 +116,36 @@ class RegisterShareGroup:
             self._release(side, slot)
             self._finished[side][slot] = False
 
+    # ------------------------------------------------------------------
+    def audit(self) -> list[str]:
+        """Re-derive the DESIGN.md §6 lock invariants from raw state.
+
+        Returns violation descriptions (empty list = healthy).  Used by
+        the runtime sanitizer; deliberately recomputes everything from
+        ``_holder``/``_finished`` rather than trusting the counters it
+        is checking.
+        """
+        v: list[str] = []
+        for slot, holder in enumerate(self._holder):
+            if holder not in (None, 0, 1):
+                v.append(f"reg pool slot {slot}: holder {holder!r} "
+                         f"outside {{None, 0, 1}}")
+        for side in (0, 1):
+            actual = sum(1 for h in self._holder if h == side)
+            if actual != self._held_count[side]:
+                v.append(f"reg pools: side {side} held-count "
+                         f"{self._held_count[side]} != recount {actual} "
+                         f"(single-holder bookkeeping broken)")
+        # Fig. 5 direction rule: a pool held while its partner warp is
+        # still live means that side *initiated*; both sides initiating
+        # is the paper's barrier/lock deadlock cycle.
+        initiating = {h for slot, h in enumerate(self._holder)
+                      if h in (0, 1) and not self._finished[1 - h][slot]}
+        if len(initiating) > 1:
+            v.append("reg pools: both sides hold pools with live partner "
+                     "warps (Fig. 5 direction rule violated)")
+        return v
+
 
 class ScratchpadShareGroup:
     """Lock for the shared scratchpad region of one pair of blocks."""
@@ -148,3 +178,10 @@ class ScratchpadShareGroup:
             self._holder = None
             if self.on_release is not None:
                 self.on_release()
+
+    def audit(self) -> list[str]:
+        """Sanitizer check: the single scratchpad lock state is sane."""
+        if self._holder not in (None, 0, 1):
+            return [f"scratchpad region: holder {self._holder!r} outside "
+                    f"{{None, 0, 1}}"]
+        return []

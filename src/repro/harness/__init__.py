@@ -3,6 +3,9 @@
 from repro.harness.runner import Mode, run, unshared, shared, improvement
 from repro.harness.engine import (Engine, EngineStats, ResultCache, RunSpec,
                                   default_engine)
+from repro.harness.resilience import (BatchReport, RetryPolicy, RunFailure,
+                                      split_results)
+from repro.harness.faults import FaultInjector, corrupt_cache_entry
 from repro.harness.experiments import EXPERIMENTS, run_experiment, ExperimentResult
 from repro.harness import extensions as _extensions  # registers ext_* experiments
 from repro.harness.report import format_table, render_experiment
@@ -16,6 +19,12 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "default_engine",
+    "BatchReport",
+    "RetryPolicy",
+    "RunFailure",
+    "split_results",
+    "FaultInjector",
+    "corrupt_cache_entry",
     "unshared",
     "shared",
     "improvement",

@@ -23,6 +23,7 @@ from repro.config import GPUConfig
 from repro.harness.engine import Engine
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import bar_chart, render_experiment
+from repro.harness.resilience import RetryPolicy
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,16 +49,35 @@ def main(argv: list[str] | None = None) -> int:
                         "or ~/.cache/repro)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="override the per-run simulation cycle limit")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock budget in seconds (hung "
+                        "workers are killed and recorded as timeouts)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="max attempts for transient failures (default 3)")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort on the first failure instead of isolating "
+                        "it into an annotated FAIL cell")
+    p.add_argument("--sanitize", action="store_true",
+                   help="validate runtime invariants during simulation "
+                        "(bypasses the result cache; see docs/resilience.md)")
     args = p.parse_args(argv)
 
     cfg = GPUConfig().scaled(num_clusters=args.clusters)
+    retry = RetryPolicy(max_attempts=max(1, args.retries)) \
+        if args.retries is not None else None
     engine = Engine(jobs=args.jobs, cache=not args.no_cache,
-                    cache_dir=args.cache_dir)
+                    cache_dir=args.cache_dir, timeout=args.timeout,
+                    retry=retry, fail_fast=args.fail_fast,
+                    sanitize=args.sanitize or None,
+                    max_cycles=args.max_cycles)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for exp_id in ids:
         t0 = time.perf_counter()
         sims0, hits0 = engine.stats.sims, engine.stats.hits
+        nfail0 = len(engine.failures)
         res = run_experiment(exp_id, config=cfg, scale=args.scale,
                              waves=args.waves, engine=engine)
         dt = time.perf_counter() - t0
@@ -68,9 +88,17 @@ def main(argv: list[str] | None = None) -> int:
             label = res.columns[0]
             print(bar_chart(res.rows, label, args.chart))
             print()
-        print(f"[{exp_id}: {dt:.1f}s | {sims} sims, {hits} cache hits, "
-              f"jobs {engine.jobs}]\n")
-    return 0
+        footer = (f"[{exp_id}: {dt:.1f}s | {sims} sims, {hits} cache hits, "
+                  f"jobs {engine.jobs}")
+        if engine.stats.failures:
+            footer += f", {engine.stats.failures} failures"
+        if engine.stats.quarantined:
+            footer += f", {engine.stats.quarantined} quarantined"
+        print(footer + "]")
+        for f in engine.failures[nfail0:]:
+            print(f"  FAILED: {f.describe()}", file=sys.stderr)
+        print()
+    return 1 if engine.failures else 0
 
 
 if __name__ == "__main__":

@@ -25,10 +25,22 @@ deduplication and persistence of simulations:
 * Observability — per-run wall time, hit/miss/dedup counters
   (:class:`EngineStats`) and a per-completion progress callback
   (:class:`RunEvent`).
+* Resilience (see docs/resilience.md) — a failing run yields a
+  structured :class:`~repro.harness.resilience.RunFailure` at its
+  position in the batch instead of aborting the whole batch; transient
+  worker failures (``BrokenProcessPool``, injected crashes) retry with
+  exponential backoff under a :class:`RetryPolicy`; ``timeout=`` arms
+  a wall-clock watchdog that kills hung workers; ``fail_fast=True``
+  restores the historical abort-on-first-error behaviour;
+  ``sanitize=True`` runs every simulation under the runtime invariant
+  sanitizer (and bypasses the cache so the checks execute);
+  ``faults=`` accepts a deterministic
+  :class:`~repro.harness.faults.FaultInjector` for chaos testing.
 
 Environment knobs: ``REPRO_JOBS`` (worker count when ``jobs`` is not
 given), ``REPRO_CACHE_DIR`` (cache location), ``REPRO_NO_CACHE=1``
-(disable the disk cache globally).  See docs/engine.md.
+(disable the disk cache globally), ``REPRO_SANITIZE=1`` (sanitizer
+default-on).  See docs/engine.md and docs/resilience.md.
 """
 
 from __future__ import annotations
@@ -38,21 +50,26 @@ import json
 import os
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
+                                ProcessPoolExecutor, wait)
+from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.config import GDDRTimings, GPUConfig, LatencyConfig
 from repro.core.sharing import SharedResource
+from repro.harness.faults import FaultInjector
+from repro.harness.resilience import (RetryPolicy, RunFailure,
+                                      RunTimeoutError, categorize)
 from repro.harness.runner import Mode, run
 from repro.isa.kernel import Kernel
 from repro.sim.stats import RunResult
 from repro.workloads.apps import APPS, App
 
 __all__ = ["RunSpec", "Engine", "EngineStats", "RunEvent", "ResultCache",
-           "kernel_fingerprint", "code_salt", "default_engine"]
+           "RunFailure", "RetryPolicy", "kernel_fingerprint", "code_salt",
+           "default_engine"]
 
 #: Bump when the cache entry layout changes (independent of code salt).
 CACHE_SCHEMA = 1
@@ -209,17 +226,27 @@ class RunSpec:
                 "from JSON?) — only registry-app specs are re-runnable")
         return self.kernel
 
-    def execute(self) -> RunResult:
+    def execute(self, sanitize: bool = False) -> RunResult:
         """Run the simulation this spec describes (no cache, no pool)."""
         return run(self.target(), self.mode, config=self.config,
                    scale=self.scale, waves=self.waves,
-                   grid_blocks=self.grid_blocks, max_cycles=self.max_cycles)
+                   grid_blocks=self.grid_blocks, max_cycles=self.max_cycles,
+                   sanitize=sanitize)
 
 
-def _execute_timed(spec: RunSpec) -> tuple[RunResult, float]:
-    """Worker entry point (top-level so it pickles)."""
+def _execute_timed(spec: RunSpec, attempt: int = 1,
+                   faults: FaultInjector | None = None,
+                   sanitize: bool = False,
+                   hard_faults: bool = False) -> tuple[RunResult, float]:
+    """Worker entry point (top-level so it pickles).
+
+    The elapsed time covers fault injection too, so an injected hang is
+    visible to the in-process post-hoc timeout check.
+    """
     t0 = time.perf_counter()
-    res = spec.execute()
+    if faults is not None:
+        faults.fire(spec.digest(), attempt, hard=hard_faults)
+    res = spec.execute(sanitize=sanitize)
     return res, time.perf_counter() - t0
 
 
@@ -230,27 +257,55 @@ class ResultCache:
     version, the spec (for inspection), the result and the simulation
     wall time.  All I/O failures degrade to cache misses; writes are
     atomic (temp file + rename) so concurrent engines never observe a
-    torn entry.
+    torn entry.  A *corrupted* entry (truncated file, non-JSON bytes,
+    wrong payload shape) is moved to ``<root>/quarantine/`` on read —
+    counted in :attr:`quarantined` — so the bad bytes are re-simulated
+    once instead of re-parsed forever.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root if root is not None
                          else os.environ.get("REPRO_CACHE_DIR")
                          or Path.home() / ".cache" / "repro")
+        #: Corrupted entries moved to quarantine by this instance.
+        self.quarantined = 0
 
     def path(self, digest: str) -> Path:
         """Entry location for a digest."""
         return self.root / digest[:2] / f"{digest}.json"
 
+    def quarantine_dir(self) -> Path:
+        """Where corrupted entries are moved for post-mortem."""
+        return self.root / "quarantine"
+
     def get(self, digest: str) -> RunResult | None:
         """Stored result for ``digest``, or None."""
+        target = self.path(digest)
         try:
-            payload = json.loads(self.path(digest).read_text())
+            text = target.read_text()
+        except OSError:
+            return None  # plain miss
+        try:
+            payload = json.loads(text)
             if payload.get("schema") != CACHE_SCHEMA:
-                return None
+                return None  # versioned entry from another build: miss
             return RunResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(target)
             return None
+
+    def _quarantine(self, target: Path) -> None:
+        """Move a corrupted entry out of the lookup path (best-effort)."""
+        self.quarantined += 1
+        try:
+            qdir = self.quarantine_dir()
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(target, qdir / target.name)
+        except OSError:
+            try:  # can't move (permissions?) — deleting also unblocks
+                target.unlink()
+            except OSError:
+                pass
 
     def put(self, digest: str, spec: RunSpec, result: RunResult,
             elapsed: float) -> None:
@@ -284,6 +339,10 @@ class EngineStats:
     sims: int = 0            #: simulations actually executed
     sim_time: float = 0.0    #: summed per-simulation wall seconds
     wall_time: float = 0.0   #: wall seconds spent inside run_batch
+    failures: int = 0        #: runs that ended as a RunFailure
+    retries: int = 0         #: re-attempts scheduled by the retry policy
+    timeouts: int = 0        #: runs killed / flagged by the watchdog
+    quarantined: int = 0     #: corrupted cache entries moved aside
 
 
 @dataclass(frozen=True)
@@ -321,12 +380,39 @@ class Engine:
         Cache root (default ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
     progress:
         Default per-completion callback receiving a :class:`RunEvent`.
+    timeout:
+        Per-run wall-clock budget in seconds (``None`` → unlimited).
+        On the pool a hung worker is killed and the pool rebuilt; at
+        ``jobs == 1`` the check is post-hoc (the run finishes, then is
+        recorded as a timeout failure if it overran).
+    retry:
+        :class:`RetryPolicy` governing which failure categories retry
+        and with what backoff.  Default: crashes retry up to 3 attempts.
+    fail_fast:
+        ``True`` restores the historical behaviour — the first terminal
+        failure re-raises and aborts the batch.  Default ``False``:
+        failures are isolated into :class:`RunFailure` slots.
+    sanitize:
+        Run every simulation under the runtime invariant sanitizer
+        (DESIGN.md §6).  Sanitized runs bypass the cache so the checks
+        actually execute.  Default: ``REPRO_SANITIZE=1``.
+    faults:
+        Optional deterministic :class:`FaultInjector` for chaos testing.
+    max_cycles:
+        When set, overrides ``max_cycles`` on every submitted spec
+        (applied before dedup, so digests reflect it).
     """
 
     def __init__(self, *, jobs: int | None = None,
                  cache: bool | ResultCache = True,
                  cache_dir: str | Path | None = None,
-                 progress: Callable[[RunEvent], None] | None = None) -> None:
+                 progress: Callable[[RunEvent], None] | None = None,
+                 timeout: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 fail_fast: bool = False,
+                 sanitize: bool | None = None,
+                 faults: FaultInjector | None = None,
+                 max_cycles: int | None = None) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
         if isinstance(cache, ResultCache):
             self.cache: ResultCache | None = cache
@@ -335,25 +421,42 @@ class Engine:
         else:
             self.cache = None
         self.progress = progress
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fail_fast = fail_fast
+        self.sanitize = (sanitize if sanitize is not None
+                         else os.environ.get("REPRO_SANITIZE") == "1")
+        self.faults = faults
+        self.max_cycles = max_cycles
         self.stats = EngineStats()
+        #: Every RunFailure recorded across this engine's batches.
+        self.failures: list[RunFailure] = []
 
     # ------------------------------------------------------------------
-    def run_one(self, spec: RunSpec) -> RunResult:
+    def run_one(self, spec: RunSpec) -> RunResult | RunFailure:
         """Convenience wrapper: a batch of one."""
         return self.run_batch([spec])[0]
 
     def run_batch(self, specs: Sequence[RunSpec], *,
                   progress: Callable[[RunEvent], None] | None = None
-                  ) -> list[RunResult]:
+                  ) -> list[RunResult | RunFailure]:
         """Execute ``specs``; returns results aligned with the input.
 
         Identical specs (same digest) are simulated once; cached results
         are loaded from disk; the rest run on the pool (``jobs > 1``) or
         in-process.  Result order is always the submission order, so a
         parallel batch is bit-identical to a sequential one.
+
+        Failure isolation: unless ``fail_fast=True``, a run that fails
+        terminally (after retries) occupies its slot in the returned
+        list as a :class:`RunFailure` — check ``r.ok`` or use
+        :func:`repro.harness.resilience.split_results`.  The failures
+        are also appended to :attr:`failures`.
         """
         t_batch = time.perf_counter()
         progress = progress if progress is not None else self.progress
+        if self.max_cycles is not None:
+            specs = [replace(s, max_cycles=self.max_cycles) for s in specs]
         order: list[str] = []
         unique: dict[str, RunSpec] = {}
         for spec in specs:
@@ -365,11 +468,14 @@ class Engine:
                 unique[d] = spec
         self.stats.submitted += len(specs)
 
-        results: dict[str, RunResult] = {}
+        # Sanitized runs bypass the cache: a cached result would skip
+        # the invariant checks that are the whole point of the mode.
+        cache = self.cache if not self.sanitize else None
+        results: dict[str, RunResult | RunFailure] = {}
         done = 0
         total = len(unique)
 
-        def emit(d: str, res: RunResult, cached: bool,
+        def emit(d: str, res: RunResult | RunFailure, cached: bool,
                  elapsed: float) -> None:
             nonlocal done
             done += 1
@@ -380,8 +486,8 @@ class Engine:
 
         todo: list[str] = []
         for d, spec in unique.items():
-            if self.cache is not None:
-                hit = self.cache.get(d)
+            if cache is not None:
+                hit = cache.get(d)
                 if hit is not None:
                     self.stats.hits += 1
                     results[d] = hit
@@ -394,25 +500,225 @@ class Engine:
             results[d] = res
             self.stats.sims += 1
             self.stats.sim_time += elapsed
-            if self.cache is not None:
-                self.cache.put(d, unique[d], res, elapsed)
+            if cache is not None:
+                cache.put(d, unique[d], res, elapsed)
             emit(d, res, False, elapsed)
 
-        if len(todo) > 1 and self.jobs > 1:
-            workers = min(self.jobs, len(todo))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_timed, unique[d]): d
-                           for d in todo}
-                for fut in as_completed(futures):
-                    res, elapsed = fut.result()
-                    record(futures[fut], res, elapsed)
-        else:
-            for d in todo:
-                res, elapsed = _execute_timed(unique[d])
-                record(d, res, elapsed)
+        def fail(d: str, failure: RunFailure) -> None:
+            results[d] = failure
+            self.failures.append(failure)
+            self.stats.failures += 1
+            emit(d, failure, False, failure.elapsed)
 
-        self.stats.wall_time += time.perf_counter() - t_batch
+        try:
+            if len(todo) > 1 and self.jobs > 1:
+                self._run_pool(todo, unique, record, fail)
+            else:
+                for d in todo:
+                    self._run_inprocess(d, unique[d], record, fail)
+        finally:
+            if self.cache is not None:
+                self.stats.quarantined = self.cache.quarantined
+            self.stats.wall_time += time.perf_counter() - t_batch
         return [results[d] for d in order]
+
+    # ------------------------------------------------------------------
+    def _run_inprocess(self, d: str, spec: RunSpec,
+                       record: Callable[[str, RunResult, float], None],
+                       fail: Callable[[str, RunFailure], None]) -> None:
+        """Execute one spec in this process, with retries.
+
+        Fault injection runs in *soft* mode (``InjectedCrash`` is raised
+        instead of killing the process) and the timeout check is
+        post-hoc: the run completes, then is recorded as a timeout
+        failure if it overran the budget.
+        """
+        policy = self.retry
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                res, elapsed = _execute_timed(
+                    spec, attempts, self.faults, self.sanitize,
+                    hard_faults=False)
+            except Exception as exc:
+                elapsed = time.perf_counter() - t0
+                category = categorize(exc)
+                if (policy.retryable(category)
+                        and attempts < policy.max_attempts):
+                    self.stats.retries += 1
+                    time.sleep(policy.delay(attempts))
+                    continue
+                if self.fail_fast:
+                    raise
+                fail(d, RunFailure.from_exception(
+                    spec, d, exc, attempts=attempts, elapsed=elapsed))
+                return
+            if self.timeout is not None and elapsed > self.timeout:
+                self.stats.timeouts += 1
+                exc = RunTimeoutError(
+                    f"run exceeded {self.timeout:.3g}s budget "
+                    f"({elapsed:.3g}s elapsed)")
+                if (policy.retryable("timeout")
+                        and attempts < policy.max_attempts):
+                    self.stats.retries += 1
+                    time.sleep(policy.delay(attempts))
+                    continue
+                if self.fail_fast:
+                    raise exc
+                fail(d, RunFailure.from_exception(
+                    spec, d, exc, attempts=attempts, elapsed=elapsed))
+                return
+            record(d, res, elapsed)
+            return
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, todo: list[str], unique: dict[str, RunSpec],
+                  record: Callable[[str, RunResult, float], None],
+                  fail: Callable[[str, RunFailure], None]) -> None:
+        """Pool scheduler with watchdog, retries and failure isolation.
+
+        Inflight submissions are capped at the worker count so the
+        submit time of a future approximates its start time — that is
+        what makes the per-run wall-clock watchdog meaningful on a
+        ``ProcessPoolExecutor`` (which has no native task timeouts).
+
+        Blame on ``BrokenProcessPool`` is imprecise: when a worker dies,
+        *every* inflight future raises it.  Rather than charging a
+        retry attempt to innocent co-scheduled specs, all affected
+        digests are requeued un-blamed into a *solo* queue that runs
+        one spec at a time — if the pool breaks again there, exactly
+        one spec was inflight and the blame is precise.
+        """
+        policy = self.retry
+        workers = min(self.jobs, len(todo))
+        pending: list[str] = list(todo)      # parallel-eligible queue
+        solo: list[str] = []                 # run-one-at-a-time queue
+        fail_count: dict[str, int] = {}      # failed attempts so far
+        not_before: dict[str, float] = {}    # backoff deadlines
+        inflight: dict[Future, tuple[str, float]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        tick = 0.05 if self.timeout is not None else 0.2
+
+        def submit(d: str) -> None:
+            attempt = fail_count.get(d, 0) + 1
+            fut = pool.submit(_execute_timed, unique[d], attempt,
+                              self.faults, self.sanitize, True)
+            inflight[fut] = (d, time.monotonic())
+
+        def kill_pool() -> None:
+            nonlocal pool
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            inflight.clear()
+            pool = ProcessPoolExecutor(max_workers=workers)
+
+        def handle_failure(d: str, exc: Exception, elapsed: float) -> None:
+            """Retry a blamed failure, or record it as terminal."""
+            fail_count[d] = fail_count.get(d, 0) + 1
+            category = categorize(exc)
+            if (policy.retryable(category)
+                    and fail_count[d] < policy.max_attempts):
+                self.stats.retries += 1
+                not_before[d] = (time.monotonic()
+                                 + policy.delay(fail_count[d]))
+                # Crash suspects go to the solo queue so a repeat
+                # break can be attributed precisely.
+                (solo if category == "crash" else pending).append(d)
+                return
+            if self.fail_fast:
+                raise exc
+            fail(d, RunFailure.from_exception(
+                unique[d], d, exc, attempts=fail_count[d], elapsed=elapsed))
+
+        def ready(queue: list[str]) -> str | None:
+            now = time.monotonic()
+            for i, d in enumerate(queue):
+                if not_before.get(d, 0.0) <= now:
+                    return queue.pop(i)
+            return None
+
+        try:
+            while pending or solo or inflight:
+                # Fill the pool: solo specs only run alone.
+                while len(inflight) < workers:
+                    if solo:
+                        if inflight:
+                            break  # wait for the pool to drain first
+                        d = ready(solo)
+                        if d is not None:
+                            submit(d)
+                        break  # at most one solo inflight
+                    d = ready(pending)
+                    if d is None:
+                        break
+                    submit(d)
+                if not inflight:
+                    # Everything runnable is backing off — sleep a beat.
+                    if pending or solo:
+                        time.sleep(tick)
+                    continue
+
+                done_set, _ = wait(list(inflight), timeout=tick,
+                                   return_when=FIRST_COMPLETED)
+                broken: Exception | None = None
+                affected: list[str] = []
+                for fut in done_set:
+                    d, t0 = inflight.pop(fut)
+                    elapsed = time.monotonic() - t0
+                    try:
+                        res, sim_elapsed = fut.result()
+                    except BrokenExecutor as exc:
+                        broken = exc
+                        affected.append(d)
+                        continue
+                    except Exception as exc:
+                        handle_failure(d, exc, elapsed)
+                        continue
+                    record(d, res, sim_elapsed)
+
+                if broken is not None:
+                    # The whole pool is dead; every inflight future is
+                    # collateral.  Blame precisely only when exactly one
+                    # spec was running (solo mode).
+                    affected.extend(d for d, _ in inflight.values())
+                    kill_pool()
+                    if len(affected) == 1:
+                        handle_failure(affected[0], broken, 0.0)
+                    else:
+                        # Un-blamed requeue: isolate in the solo queue.
+                        solo.extend(affected)
+                    continue
+
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    expired = [(fut, d, t0) for fut, (d, t0)
+                               in inflight.items() if now - t0 > self.timeout]
+                    if expired:
+                        self.stats.timeouts += len(expired)
+                        expired_futs = {fut for fut, _d, _t0 in expired}
+                        # Co-scheduled runs die with the pool through no
+                        # fault of their own: requeue without blame.
+                        innocents = [d for fut, (d, _t0) in inflight.items()
+                                     if fut not in expired_futs]
+                        kill_pool()
+                        pending.extend(innocents)
+                        for _fut, d, t0 in expired:
+                            exc = RunTimeoutError(
+                                f"run exceeded {self.timeout:.3g}s budget "
+                                f"(killed after {now - t0:.3g}s)")
+                            handle_failure(d, exc, now - t0)
+        finally:
+            # On the normal path inflight is empty, so a blocking
+            # shutdown is instant and joins the executor's management
+            # thread (avoids "Exception ignored" atexit noise).  On the
+            # fail-fast abort path, don't wait for running simulations.
+            pool.shutdown(wait=not inflight, cancel_futures=True)
 
 
 _DEFAULT_ENGINE: Engine | None = None

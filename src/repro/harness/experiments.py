@@ -98,6 +98,34 @@ def _pct_t(pct: int) -> float:
     return 1.0 - pct / 100.0
 
 
+# -- failure-tolerant cell helpers -------------------------------------
+#
+# run_batch isolates failing runs into RunFailure slots (unless the
+# engine was built with fail_fast=True).  Experiments render those
+# slots as annotated ``FAIL:<category>`` cells instead of crashing the
+# whole figure; callers can inspect ``engine.failures`` for the full
+# diagnostic records.
+
+def _ok(r) -> bool:
+    return getattr(r, "ok", True)
+
+
+def _fail_cell(*rs) -> str:
+    """Annotation for a row whose inputs include failed runs."""
+    bad = next(r for r in rs if not _ok(r))
+    return f"FAIL:{bad.category}"
+
+
+def _ipc_cell(r):
+    return round(r.ipc, 2) if _ok(r) else _fail_cell(r)
+
+
+def _impr_cell(base, new):
+    if _ok(base) and _ok(new):
+        return round(improvement(base, new), 2)
+    return _fail_cell(base, new)
+
+
 # ----------------------------------------------------------------------
 # Fig. 1 — motivation: occupancy and waste (no simulation needed)
 # ----------------------------------------------------------------------
@@ -189,9 +217,9 @@ def _improvement_rows(names: tuple[str, ...], base_mode: Mode,
         new = runs[name, new_mode.label]
         rows.append({
             "app": name,
-            "ipc_base": round(base.ipc, 2),
-            "ipc_shared": round(new.ipc, 2),
-            "improvement_pct": round(improvement(base, new), 2),
+            "ipc_base": _ipc_cell(base),
+            "ipc_shared": _ipc_cell(new),
+            "improvement_pct": _impr_cell(base, new),
             "paper_pct": APPS[name].paper.get(paper_key),
         })
     return rows
@@ -243,7 +271,7 @@ def _ablation_rows(names: tuple[str, ...], variants: list[Mode],
         base = runs[name, base_mode.label]
         row: dict = {"app": name}
         for m in variants:
-            row[m.label] = round(improvement(base, runs[name, m.label]), 2)
+            row[m.label] = _impr_cell(base, runs[name, m.label])
         rows.append(row)
     return rows
 
@@ -299,6 +327,11 @@ def _cycles_rows(names: tuple[str, ...], new_mode: Mode, cfg: GPUConfig,
     for name in names:
         base = runs[name, base_mode.label]
         new = runs[name, new_mode.label]
+        if not (_ok(base) and _ok(new)):
+            rows.append({"app": name,
+                         "idle_decrease_pct": _fail_cell(base, new),
+                         "stall_decrease_pct": _fail_cell(base, new)})
+            continue
 
         def dec(b: int, n: int) -> float:
             return 100.0 * (b - n) / b if b else 0.0
@@ -373,9 +406,9 @@ def _vs_baseline(names: tuple[str, ...], base_sched: str, new_mode: Mode,
         new = runs[name, new_mode.label]
         rows.append({
             "app": name,
-            "ipc_base": round(base.ipc, 2),
-            "ipc_shared": round(new.ipc, 2),
-            "improvement_pct": round(improvement(base, new), 2),
+            "ipc_base": _ipc_cell(base),
+            "ipc_shared": _ipc_cell(new),
+            "improvement_pct": _impr_cell(base, new),
         })
     return rows
 
@@ -458,9 +491,11 @@ def _doubling_rows(names: tuple[str, ...], big: GPUConfig,
         base, new = results[2 * i], results[2 * i + 1]
         rows.append({
             "app": name,
-            ipc_col: round(base.ipc, 2),
-            "ipc_shared": round(new.ipc, 2),
-            "shared_wins": new.ipc >= base.ipc,
+            ipc_col: _ipc_cell(base),
+            "ipc_shared": _ipc_cell(new),
+            "shared_wins": (new.ipc >= base.ipc
+                            if _ok(base) and _ok(new)
+                            else _fail_cell(base, new)),
         })
     return rows
 
@@ -510,7 +545,7 @@ def _set3_rows(modes: list[Mode], cfg: GPUConfig, scale: float,
     for name in SET3:
         row: dict = {"app": name}
         for m in modes:
-            row[m.label] = round(runs[name, m.label].ipc, 2)
+            row[m.label] = _ipc_cell(runs[name, m.label])
         rows.append(row)
     return rows
 
@@ -577,8 +612,9 @@ def _sweep(names: tuple[str, ...], resource: SharedResource,
         blk_row: dict = {"app": name}
         for pct in SHARING_PCTS:
             r = next(results)
-            ipc_row[f"{pct}%"] = round(r.ipc, 2)
-            blk_row[f"{pct}%"] = r.blocks_total
+            ipc_row[f"{pct}%"] = _ipc_cell(r)
+            blk_row[f"{pct}%"] = (r.blocks_total if _ok(r)
+                                  else _fail_cell(r))
         ipc_rows.append(ipc_row)
         blk_rows.append(blk_row)
     return ipc_rows, blk_rows

@@ -81,8 +81,16 @@ def shared(resource: SharedResource, scheduler: str = "lrr", *,
 def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
         scale: float = 1.0, waves: float = 6.0,
         grid_blocks: int | None = None,
-        max_cycles: int = 2_000_000) -> RunResult:
-    """Simulate ``app`` under ``mode`` and return the result."""
+        max_cycles: int = 2_000_000,
+        sanitize: bool = False) -> RunResult:
+    """Simulate ``app`` under ``mode`` and return the result.
+
+    ``sanitize=True`` enables the runtime invariant sanitizer (see
+    :mod:`repro.sim.sanitizer`): the DESIGN.md §6 lock and conservation
+    invariants are validated during simulation and a violation raises
+    :class:`~repro.sim.sanitizer.SanitizerViolation`.  Results are
+    unchanged when the invariants hold.
+    """
     if config is None:
         config = GPUConfig()
     kernel = app.kernel(scale) if isinstance(app, App) else app
@@ -99,7 +107,7 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
                             SharingSpec(mode.sharing, mode.t))
     gpu = GPU(kernel, config, scheduler=mode.scheduler, plan=plan,
               dyn=mode.dyn, early_release=mode.early_release,
-              mode=mode.label)
+              mode=mode.label, sanitize=sanitize)
     return gpu.run(max_cycles=max_cycles)
 
 

@@ -28,20 +28,41 @@ from typing import Iterable
 
 from repro.config import GPUConfig
 from repro.harness.engine import Engine, ResultCache, RunEvent, RunSpec
+from repro.harness.faults import FaultInjector
+from repro.harness.resilience import RetryPolicy, RunFailure
 from repro.harness.runner import Mode
 from repro.sim.stats import RunResult
 from repro.workloads.apps import APPS, App
 
-__all__ = ["Sweep", "result_row", "rows_to_csv"]
+__all__ = ["Sweep", "result_row", "failure_row", "rows_to_csv"]
 
 #: Flat columns exported for every run.
 CSV_COLUMNS = (
-    "app", "mode", "clusters", "scale", "waves", "ipc", "cycles",
+    "app", "mode", "clusters", "scale", "waves", "status", "ipc", "cycles",
     "instructions", "stall_cycles", "idle_cycles", "max_resident_blocks",
     "blocks_baseline", "blocks_total", "l1_miss_rate", "l2_miss_rate",
     "dram_requests", "lock_acquires", "lock_waits", "dyn_refusals",
-    "early_releases",
+    "early_releases", "error",
 )
+
+
+def failure_row(f: RunFailure, *, clusters: int, scale: float,
+                waves: float) -> dict:
+    """Flatten a :class:`RunFailure` into an annotated CSV row.
+
+    The ``status`` column carries the failure category (successful rows
+    say ``ok``) and ``error`` the exception message, so a sweep CSV
+    with failed cells still loads into any analysis pipeline.
+    """
+    return {
+        "app": f.app,
+        "mode": f.mode,
+        "clusters": clusters,
+        "scale": scale,
+        "waves": waves,
+        "status": f.category,
+        "error": f"{f.exception_type}: {f.message}"[:200],
+    }
 
 
 def result_row(res: RunResult, *, clusters: int, scale: float,
@@ -49,6 +70,8 @@ def result_row(res: RunResult, *, clusters: int, scale: float,
     """Flatten a :class:`RunResult` into one CSV row."""
     agg = lambda f: sum(getattr(s, f) for s in res.sm_stats)  # noqa: E731
     return {
+        "status": "ok",
+        "error": "",
         "app": res.kernel,
         "mode": res.mode,
         "clusters": clusters,
@@ -92,9 +115,11 @@ class Sweep:
 
     ``jobs``/``cache``/``cache_dir`` configure the private
     :class:`Engine` used for execution (``cache`` defaults to off — an
-    ad-hoc study tool shouldn't write to disk unless asked); pass
-    ``engine=`` to share an engine (and its statistics/cache) with other
-    callers.
+    ad-hoc study tool shouldn't write to disk unless asked), and the
+    resilience knobs ``timeout``/``retry``/``fail_fast``/``sanitize``/
+    ``faults``/``max_cycles`` forward to it unchanged (see
+    docs/resilience.md); pass ``engine=`` to share an engine (and its
+    statistics/cache) with other callers instead.
     """
 
     def __init__(self, *, config: GPUConfig | None = None,
@@ -102,15 +127,25 @@ class Sweep:
                  jobs: int | None = None,
                  cache: bool | ResultCache = False,
                  cache_dir: str | Path | None = None,
+                 timeout: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 fail_fast: bool = False,
+                 sanitize: bool | None = None,
+                 faults: FaultInjector | None = None,
+                 max_cycles: int | None = None,
                  engine: Engine | None = None) -> None:
         self.config = config if config is not None else GPUConfig()
         self.scale = scale
         self.waves = waves
         self.engine = engine if engine is not None else Engine(
-            jobs=jobs, cache=cache, cache_dir=cache_dir)
+            jobs=jobs, cache=cache, cache_dir=cache_dir, timeout=timeout,
+            retry=retry, fail_fast=fail_fast, sanitize=sanitize,
+            faults=faults, max_cycles=max_cycles)
         self._apps: list[App] = []
         self._modes: list[Mode] = []
         self.rows: list[dict] = []
+        #: RunFailures from the last :meth:`run` (annotated in rows too).
+        self.failures: list[RunFailure] = []
 
     # -- grid construction ----------------------------------------------
     def add_apps(self, apps: Iterable[str | App]) -> "Sweep":
@@ -155,14 +190,22 @@ class Sweep:
         callback = None
         if progress:  # pragma: no cover - console nicety
             def callback(ev: RunEvent) -> None:
+                if isinstance(ev.result, RunFailure):
+                    print(f"  [{ev.index}/{ev.total}] "
+                          f"{ev.result.describe()}")
+                    return
                 tag = " (cached)" if ev.cached else ""
                 print(f"  [{ev.index}/{ev.total}] {ev.result.kernel} / "
                       f"{ev.result.mode}: IPC {ev.result.ipc:.2f}{tag}")
 
         results = self.engine.run_batch(specs, progress=callback)
-        self.rows = [result_row(res, clusters=self.config.num_clusters,
-                                scale=self.scale, waves=self.waves)
+        kw = dict(clusters=self.config.num_clusters, scale=self.scale,
+                  waves=self.waves)
+        self.rows = [failure_row(res, **kw)
+                     if isinstance(res, RunFailure) else
+                     result_row(res, **kw)
                      for res in results]
+        self.failures = [r for r in results if isinstance(r, RunFailure)]
         return self.rows
 
     def to_csv(self) -> str:
@@ -175,6 +218,8 @@ class Sweep:
         """App → label of its highest-IPC mode (from the last run)."""
         best: dict[str, dict] = {}
         for r in self.rows:
+            if r.get("ipc") is None:  # annotated failure row
+                continue
             cur = best.get(r["app"])
             if cur is None or r["ipc"] > cur["ipc"]:
                 best[r["app"]] = r

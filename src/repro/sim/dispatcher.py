@@ -74,6 +74,16 @@ class Dispatcher:
         """Slots per SM (the launch capacity the plan provides)."""
         return len(self._slots[0]) if self._slots else 0
 
+    def share_pairs(self):
+        """Iterate every distinct :class:`SharePair` across all SMs
+        (sanitizer lock audits and deadlock reports walk these)."""
+        seen: set[int] = set()
+        for slots in self._slots:
+            for slot in slots:
+                if slot.pair is not None and id(slot.pair) not in seen:
+                    seen.add(id(slot.pair))
+                    yield slot.pair
+
     # ------------------------------------------------------------------
     def initial_fill(self, cycle: int = 0) -> None:
         """Launch the initial wave, round-robin across SMs in grid order."""

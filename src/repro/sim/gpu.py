@@ -13,8 +13,10 @@ from repro.isa.kernel import Kernel
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.request import AddressMap
 from repro.sim.dispatcher import Dispatcher
+from repro.sim.sanitizer import Sanitizer
 from repro.sim.sm import SharingRuntime, SMCore
 from repro.sim.stats import RunResult
+from repro.sim.warp import WarpState
 
 __all__ = ["GPU", "SimulationLimitExceeded", "SimulationDeadlock"]
 
@@ -42,10 +44,13 @@ class GPU:
                  plan: Optional[SharingPlan] = None,
                  dyn: bool = False,
                  early_release: bool = False,
-                 mode: str = "") -> None:
+                 mode: str = "",
+                 sanitize: bool = False) -> None:
         self.kernel = kernel
         self.cfg = config
         self.mode = mode or scheduler
+        self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize \
+            else None
         self.events = EventQueue()
         self.hierarchy = MemoryHierarchy(config, self.events, config.num_sms)
         self.amap = AddressMap(seed=kernel.seed)
@@ -72,7 +77,7 @@ class GPU:
         self.sms = [
             SMCore(i, kernel, config, self.events, self.hierarchy, self.amap,
                    scheduler, sharing=sharing_rt, dyn=self.dyn,
-                   liveness=liveness)
+                   liveness=liveness, sanitizer=self.sanitizer)
             for i in range(config.num_sms)
         ]
         self.plan = plan
@@ -89,6 +94,7 @@ class GPU:
         sms = self.sms
         dispatcher = self.dispatcher
         dyn = self.dyn
+        sanitizer = self.sanitizer
 
         dispatcher.initial_fill(0)
         if dyn is not None:
@@ -130,12 +136,16 @@ class GPU:
                         if dyn is not None and kind == "stall":
                             dyn.record_stall(sm.sm_id, gap)
                     cycle = nxt
+            if sanitizer is not None:
+                sanitizer.maybe_check(self, cycle)
             if cycle > max_cycles:
                 raise SimulationLimitExceeded(
                     f"kernel {self.kernel.name!r} exceeded {max_cycles} cycles "
                     f"({dispatcher.completed}/{self.kernel.grid_blocks} blocks "
                     f"done)")
 
+        if sanitizer is not None:
+            sanitizer.final(self, cycle)
         stats = [sm.stats for sm in sms]
         return RunResult(
             kernel=self.kernel.name,
@@ -151,6 +161,12 @@ class GPU:
 
     # ------------------------------------------------------------------
     def _deadlock_report(self, cycle: int) -> str:
+        """Diagnostic naming every blocked warp and the lock it waits on.
+
+        Fed into :class:`SimulationDeadlock` (and from there into the
+        engine's ``RunFailure`` records), so a deadlocked cell in a
+        sweep pinpoints the warp/lock cycle without a debugger.
+        """
         lines = [f"deadlock at cycle {cycle}: no ready warps, no events"]
         for sm in self.sms:
             states: dict[str, int] = {}
@@ -158,6 +174,31 @@ class GPU:
                 states[w.state.name] = states.get(w.state.name, 0) + 1
             lines.append(f"  SM{sm.sm_id}: {states} "
                          f"resident_blocks={sm.resident_blocks}")
+            for w in sm.warps:
+                if w.state is WarpState.BLOCK_LOCK:
+                    lines.append(f"    {self._lock_wait_line(w)}")
+                elif w.state is WarpState.BLOCK_BAR:
+                    lines.append(
+                        f"    W{w.dynamic_id} (block {w.block.linear_id}, "
+                        f"slot {w.slot}) waits at barrier "
+                        f"({w.block.bar_count}/{w.block.n_warps} arrived)")
         lines.append(f"  grid: {self.dispatcher.completed}"
                      f"/{self.kernel.grid_blocks} blocks complete")
         return "\n".join(lines)
+
+    @staticmethod
+    def _lock_wait_line(w) -> str:
+        """Describe which shared-pool lock a BLOCK_LOCK warp waits on."""
+        block = w.block
+        pair = block.pair
+        head = (f"W{w.dynamic_id} (block {block.linear_id} side "
+                f"{block.side}, slot {w.slot}) waits on")
+        if pair is None:  # pragma: no cover - unreachable by construction
+            return f"{head} an unknown lock (no pair attached)"
+        if pair.reg_group is not None:
+            holder = pair.reg_group.holder(w.slot)
+            return (f"{head} shared reg pool slot {w.slot}, "
+                    f"held by side {holder}")
+        holder = pair.spad_group.holder if pair.spad_group is not None \
+            else None
+        return f"{head} shared scratchpad region, held by side {holder}"

@@ -33,6 +33,7 @@ from repro.sim.warp import REG_PENDING, WarpContext, WarpState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.dispatcher import Dispatcher
+    from repro.sim.sanitizer import Sanitizer
 
 __all__ = ["SharingRuntime", "SMCore"]
 
@@ -77,7 +78,8 @@ class SMCore:
                  amap: AddressMap, scheduler: str,
                  sharing: Optional[SharingRuntime] = None,
                  dyn: Optional[DynWarpController] = None,
-                 liveness: Optional[SharedLiveness] = None) -> None:
+                 liveness: Optional[SharedLiveness] = None,
+                 sanitizer: Optional["Sanitizer"] = None) -> None:
         self.sm_id = sm_id
         self.kernel = kernel
         self.cfg = config
@@ -89,6 +91,8 @@ class SMCore:
         self.dyn = dyn
         #: Live-range tables for the early-release extension (None = off).
         self.liveness = liveness
+        #: Runtime invariant checker (None = sanitizer off).
+        self.sanitizer = sanitizer
         self.schedulers: list[WarpScheduler] = [
             make_scheduler(scheduler, i,
                            fetch_group_size=config.fetch_group_size)
@@ -226,6 +230,34 @@ class SMCore:
         return issued
 
     # ------------------------------------------------------------------
+    def _dyn_critical(self, warp: WarpContext) -> bool:
+        """True when throttling ``warp`` would stall the partner block.
+
+        Priority-inversion escape hatch for the Dyn gate: if this
+        warp's block holds a shared pool that a partner-side warp is
+        lock-blocked on, refusing its memory instructions cannot be
+        "protecting the owner" — it *is* the owner's critical path
+        (pools release only as the holding block progresses).  On SM0,
+        whose throttle probability is pinned to 0, refusing such a warp
+        forever would livelock the pair outright.
+        """
+        pair = warp.block.pair
+        if pair is None:
+            return False
+        side = warp.block.side
+        partner = pair.blocks[1 - side]
+        if partner is None:
+            return False
+        g, sg = pair.reg_group, pair.spad_group
+        for w in self._lock_blocked:
+            if w.state is not WarpState.BLOCK_LOCK or w.block is not partner:
+                continue
+            if g is not None and g.holder(w.slot) == side:
+                return True
+            if sg is not None and sg.holder == side:
+                return True
+        return False
+
     def _try_issue(self, warp: WarpContext, cycle: int,
                    sched: WarpScheduler) -> bool:
         ins = warp.current_instr
@@ -237,7 +269,8 @@ class SMCore:
         # --- Dyn gate (Sec. IV-C): non-owner global memory only ---
         if (self.dyn is not None and grp == "global" and pair is not None
                 and warp.owf_class() == 2):
-            if not self.dyn.allow(self.sm_id):
+            if (not self.dyn.allow(self.sm_id)
+                    and not self._dyn_critical(warp)):
                 stats.dyn_refusals += 1
                 self._set_state(warp, WarpState.BLOCK_DYN)
                 self._dyn_blocked.append(warp)
@@ -384,6 +417,8 @@ class SMCore:
             pair.reg_group.warp_finished(warp.block.side, warp.slot)
 
     def _finish_warp(self, warp: WarpContext, cycle: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_warp_finished(warp)
         self._set_state(warp, WarpState.FINISHED)
         block = warp.block
         block.active_warps -= 1

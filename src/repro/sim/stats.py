@@ -83,6 +83,10 @@ class RunResult:
     blocks_baseline: int = 0
     blocks_total: int = 0
 
+    #: Success marker, mirroring ``RunFailure.ok = False`` — lets batch
+    #: consumers branch on ``r.ok`` without isinstance checks.
+    ok = True
+
     @property
     def ipc(self) -> float:
         """GPU-wide instructions per cycle (the paper's headline metric)."""

@@ -72,10 +72,12 @@ class TestSweep:
 
 class TestRowsToCsv:
     def test_missing_keys_blank(self):
+        from repro.harness.sweep import CSV_COLUMNS
         text = rows_to_csv([{"app": "x", "ipc": 1.0}])
         line = text.strip().splitlines()[1]
         assert line.startswith("x,")
-        assert line.split(",")[6] == ""  # cycles missing -> blank
+        cycles_col = CSV_COLUMNS.index("cycles")
+        assert line.split(",")[cycles_col] == ""  # cycles missing -> blank
 
     def test_extra_keys_ignored(self):
         text = rows_to_csv([{"app": "x", "not_a_column": 9}])
