@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the fast simulator core vs the reference core.
+
+Runs every distinct cell of the Fig. 8(c)/8(d)/9(a)/9(b) sweeps — each
+Set-1 app under Unshared-LRR plus all four register-sharing ablation
+modes, each Set-2 app under Unshared-LRR plus both scratchpad-sharing
+modes — on both cores at the sweep's production machine size, checks
+the results are bit-identical, and writes throughput numbers to
+``BENCH_PERF.json``:
+
+    PYTHONPATH=src python scripts/bench_perf.py
+
+If the output file already exists, the previous numbers are loaded first
+and a comparison is printed after the run.  Modes:
+
+``--tiny``
+    A four-cell matrix on a half-size machine for CI smoke runs.
+``--check``
+    Compare against the committed JSON instead of overwriting it: exit
+    non-zero if the fast core's speedup over the reference core dropped
+    below half of the committed speedup.  The check is a *ratio* of two
+    wall-clocks measured on the same machine in the same process, so it
+    is hardware-independent — a committed absolute wall-clock would fail
+    on any slower CI runner.
+``--apps A,B,...``
+    Restrict the matrix to the named apps (subset sanity runs).
+
+Results are simulated fresh on every invocation (the harness result
+cache is not involved); each cell's fast-vs-reference equality doubles
+as a coarse differential test at full sweep scale, complementing the
+golden-pinned matrix in ``tests/test_core_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import GPUConfig  # noqa: E402
+from repro.core.sharing import SharedResource  # noqa: E402
+from repro.harness.runner import Mode, run, shared, unshared  # noqa: E402
+from repro.workloads import APPS, SET1, SET2  # noqa: E402
+
+SCHEMA = 1
+
+
+def full_matrix() -> list[tuple[str, Mode]]:
+    """Every distinct cell of the Fig. 8(c)/8(d)/9(a)/9(b) sweeps.
+
+    Set-1 apps run under Unshared-LRR plus the full Fig. 9(a) register
+    sharing ablation (NoOpt → Unroll → Unroll-Dyn → OWF-Unroll-Dyn);
+    Set-2 apps under Unshared-LRR plus both Fig. 9(b) scratchpad
+    variants.  Fig. 8(c)/(d) are subsets of these cells.
+    """
+    cells: list[tuple[str, Mode]] = []
+    REG, SPAD = SharedResource.REGISTERS, SharedResource.SCRATCHPAD
+    set1_modes = [
+        unshared("lrr"),
+        shared(REG, "lrr"),                          # NoOpt
+        shared(REG, "lrr", unroll=True),             # Unroll
+        shared(REG, "lrr", unroll=True, dyn=True),   # Unroll-Dyn
+        shared(REG, "owf", unroll=True, dyn=True),   # headline
+    ]
+    for app in SET1:
+        for m in set1_modes:
+            cells.append((app, m))
+    set2_modes = [unshared("lrr"), shared(SPAD, "lrr"),
+                  shared(SPAD, "owf")]
+    for app in SET2:
+        for m in set2_modes:
+            cells.append((app, m))
+    return cells
+
+
+def tiny_matrix() -> list[tuple[str, Mode]]:
+    """Four cells that finish in seconds — the CI smoke matrix."""
+    reg = shared(SharedResource.REGISTERS, "owf", unroll=True, dyn=True)
+    spad = shared(SharedResource.SCRATCHPAD, "owf")
+    return [("MUM", unshared("lrr")), ("MUM", reg),
+            ("SRAD1", unshared("lrr")), ("SRAD1", spad)]
+
+
+def bench(cells: list[tuple[str, Mode]], cfg: GPUConfig, scale: float,
+          waves: float) -> dict:
+    """Time every cell on both cores; returns the BENCH_PERF payload."""
+    cores = ("fast", "reference")
+    per_core: dict[str, dict] = {
+        c: {"wall_s": 0.0, "instructions": 0, "cycles": 0, "cells": []}
+        for c in cores
+    }
+    identical = True
+    for app, mode in cells:
+        dicts = {}
+        for core in cores:
+            gc.collect()
+            t0 = time.perf_counter()
+            res = run(APPS[app], mode, config=cfg, scale=scale,
+                      waves=waves, core=core)
+            wall = time.perf_counter() - t0
+            dicts[core] = res.to_dict()
+            agg = per_core[core]
+            agg["wall_s"] += wall
+            agg["instructions"] += res.instructions
+            agg["cycles"] += res.cycles
+            agg["cells"].append({
+                "app": app, "mode": mode.label, "wall_s": round(wall, 4),
+                "instructions": res.instructions, "cycles": res.cycles,
+            })
+        same = dicts["fast"] == dicts["reference"]
+        identical &= same
+        cell_speedup = (per_core["reference"]["cells"][-1]["wall_s"]
+                        / max(per_core["fast"]["cells"][-1]["wall_s"], 1e-9))
+        print(f"  {app:>10s} | {mode.label:<25s} "
+              f"fast {per_core['fast']['cells'][-1]['wall_s']:7.2f}s  "
+              f"ref {per_core['reference']['cells'][-1]['wall_s']:7.2f}s  "
+              f"{cell_speedup:5.2f}x  "
+              f"{'identical' if same else '** DIVERGED **'}", flush=True)
+    for core in cores:
+        agg = per_core[core]
+        w = max(agg["wall_s"], 1e-9)
+        agg["wall_s"] = round(agg["wall_s"], 3)
+        agg["sims_per_s"] = round(len(cells) / w, 4)
+        agg["minstr_per_s"] = round(agg["instructions"] / w / 1e6, 3)
+        agg["mcycles_per_s"] = round(agg["cycles"] / w / 1e6, 3)
+    speedup = per_core["reference"]["wall_s"] / max(
+        per_core["fast"]["wall_s"], 1e-9)
+    return {
+        "schema": SCHEMA,
+        "machine": {"num_clusters": cfg.num_clusters, "scale": scale,
+                    "waves": waves},
+        "n_cells": len(cells),
+        "identical": identical,
+        "speedup": round(speedup, 3),
+        "cores": per_core,
+    }
+
+
+def report(data: dict) -> None:
+    for core in ("fast", "reference"):
+        c = data["cores"][core]
+        print(f"{core:>10s}: {c['wall_s']:8.2f}s  "
+              f"{c['sims_per_s']:7.3f} sims/s  "
+              f"{c['minstr_per_s']:7.3f} Minstr/s  "
+              f"{c['mcycles_per_s']:7.3f} Mcycles/s")
+    print(f"   speedup: {data['speedup']:.2f}x  "
+          f"(results {'identical' if data['identical'] else 'DIVERGED'})")
+
+
+def compare(old: dict, new: dict) -> None:
+    if old.get("schema") != new["schema"] or old.get("n_cells") != \
+            new["n_cells"]:
+        print("previous JSON covers a different matrix; no comparison")
+        return
+    of, nf = old["cores"]["fast"], new["cores"]["fast"]
+    print(f"vs previous: fast wall {of['wall_s']:.2f}s -> "
+          f"{nf['wall_s']:.2f}s  "
+          f"({nf['wall_s'] / max(of['wall_s'], 1e-9):.2f}x), "
+          f"speedup {old['speedup']:.2f}x -> {new['speedup']:.2f}x")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent
+                                         .parent / "BENCH_PERF.json"),
+                    help="output/baseline JSON path")
+    ap.add_argument("--tiny", action="store_true",
+                    help="four-cell half-size matrix (CI smoke)")
+    ap.add_argument("--apps", default=None,
+                    help="comma-separated app subset of the full matrix")
+    ap.add_argument("--check", action="store_true",
+                    help="compare against the committed JSON; fail if the "
+                         "fast-core speedup fell below half the baseline")
+    args = ap.parse_args(argv)
+
+    if args.tiny:
+        cells = tiny_matrix()
+        cfg = GPUConfig().scaled(num_clusters=2)
+        scale, waves = 0.5, 1.5
+    else:
+        cells = full_matrix()
+        cfg = GPUConfig().scaled(num_clusters=4)
+        scale, waves = 1.0, 3.0
+    if args.apps:
+        keep = set(args.apps.split(","))
+        unknown = keep - {a for a, _ in cells}
+        if unknown:
+            ap.error(f"apps not in the matrix: {sorted(unknown)}")
+        cells = [(a, m) for a, m in cells if a in keep]
+
+    out = Path(args.out)
+    prev = json.loads(out.read_text()) if out.is_file() else None
+
+    print(f"benchmarking {len(cells)} cells x 2 cores "
+          f"(clusters={cfg.num_clusters}, scale={scale}, waves={waves})",
+          flush=True)
+    data = bench(cells, cfg, scale, waves)
+    report(data)
+
+    if not data["identical"]:
+        print("FAIL: fast and reference cores diverged", file=sys.stderr)
+        return 1
+
+    if args.check:
+        if prev is None:
+            print(f"FAIL: no baseline at {out}", file=sys.stderr)
+            return 1
+        floor = 0.5 * prev["speedup"]
+        print(f"check: speedup {data['speedup']:.2f}x vs baseline "
+              f"{prev['speedup']:.2f}x (floor {floor:.2f}x)")
+        if data["speedup"] < floor:
+            print("FAIL: fast core regressed more than 50% relative to "
+                  "the reference core", file=sys.stderr)
+            return 1
+        return 0
+
+    if prev is not None:
+        compare(prev, data)
+    out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,9 @@ def _load_kernel(spec: str) -> Kernel:
 
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top-20 "
+                        "functions by cumulative time to stderr")
     sub = p.add_subparsers(dest="cmd", required=True)
 
     pa = sub.add_parser("analyze", help="static kernel profile")
@@ -97,6 +100,13 @@ def main(argv: list[str] | None = None) -> int:
 
     args = p.parse_args(argv)
 
+    if args.profile:
+        from repro.profiling import profiled
+        return profiled(_dispatch, args)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.cmd == "list":
         print("apps: ", ", ".join(sorted(APPS)))
         print("modes:", ", ".join(sorted(_MODES)))

@@ -62,8 +62,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--sanitize", action="store_true",
                    help="validate runtime invariants during simulation "
                         "(bypasses the result cache; see docs/resilience.md)")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top-20 "
+                        "functions by cumulative time to stderr "
+                        "(forces --jobs 1 so the work stays in-process)")
     args = p.parse_args(argv)
 
+    if args.profile:
+        from repro.profiling import profiled
+        args.jobs = 1  # profile the simulation, not worker plumbing
+        return profiled(_dispatch, args)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     cfg = GPUConfig().scaled(num_clusters=args.clusters)
     retry = RetryPolicy(max_attempts=max(1, args.retries)) \
         if args.retries is not None else None

@@ -82,7 +82,8 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
         scale: float = 1.0, waves: float = 6.0,
         grid_blocks: int | None = None,
         max_cycles: int = 2_000_000,
-        sanitize: bool = False) -> RunResult:
+        sanitize: bool = False,
+        core: str = "fast") -> RunResult:
     """Simulate ``app`` under ``mode`` and return the result.
 
     ``sanitize=True`` enables the runtime invariant sanitizer (see
@@ -90,6 +91,9 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
     invariants are validated during simulation and a violation raises
     :class:`~repro.sim.sanitizer.SanitizerViolation`.  Results are
     unchanged when the invariants hold.
+
+    ``core`` selects the simulator core (``"fast"`` or ``"reference"``,
+    see :class:`~repro.sim.gpu.GPU`); both produce identical results.
     """
     if config is None:
         config = GPUConfig()
@@ -107,7 +111,7 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
                             SharingSpec(mode.sharing, mode.t))
     gpu = GPU(kernel, config, scheduler=mode.scheduler, plan=plan,
               dyn=mode.dyn, early_release=mode.early_release,
-              mode=mode.label, sanitize=sanitize)
+              mode=mode.label, sanitize=sanitize, core=core)
     return gpu.run(max_cycles=max_cycles)
 
 

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Tuple
 
 from repro.isa.opcodes import (MEM_OPS, GLOBAL_OPS, SHARED_OPS, MemSpace,
-                               Op, Pattern)
+                               Op, Pattern, op_group)
 
 __all__ = ["MemDesc", "Instr"]
 
@@ -79,6 +79,23 @@ class Instr:
     src: Tuple[int, ...] = ()
     mem: MemDesc | None = None
 
+    # Derived metadata, precomputed once at construction so the
+    # simulator's issue loop never recomputes it per dynamic instruction
+    # (non-field attributes: they do not participate in eq/repr/replace).
+    #
+    # ``group``    — functional group ("alu"/"sfu"/"global"/"shared"/
+    #                "bar"/"exit"), formerly looked up per issue.
+    # ``regs``     — all register indices, dst first (was a property
+    #                that rebuilt the tuple on every scoreboard check).
+    # ``max_reg``  — highest register index (-1 if none); the Fig. 3
+    #                shared-access check reduces to ``max_reg >= Rw·t``.
+    # ``uses_port``— True for global/shared memory instructions (the
+    #                single LD/ST port structural constraint).
+    group: str = field(init=False, repr=False, compare=False)
+    regs: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    max_reg: int = field(init=False, repr=False, compare=False)
+    uses_port: bool = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.op in MEM_OPS:
             if self.mem is None:
@@ -89,16 +106,16 @@ class Instr:
                     f"{self.op.name} descriptor has space {self.mem.space}")
         elif self.mem is not None:
             raise ValueError(f"{self.op.name} cannot carry a MemDesc")
-        if self.op in SHARED_OPS or self.op in GLOBAL_OPS:
-            pass
-        for r in (*self.dst, *self.src):
+        regs = (*self.dst, *self.src)
+        for r in regs:
             if r < 0:
                 raise ValueError("register indices must be non-negative")
-
-    @property
-    def regs(self) -> Tuple[int, ...]:
-        """All register indices the instruction touches, dst first."""
-        return (*self.dst, *self.src)
+        group = op_group(self.op)
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "regs", regs)
+        object.__setattr__(self, "max_reg", max(regs, default=-1))
+        object.__setattr__(self, "uses_port",
+                           group == "global" or group == "shared")
 
     def remap(self, mapping: dict[int, int]) -> "Instr":
         """Return a copy with registers renumbered through ``mapping``.

@@ -44,9 +44,20 @@ class Cache:
         self.n_mshrs = mshrs
         # Each set is an LRU-ordered list of line addresses, MRU last.
         self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        # Flat mirror of every cached line for O(1) presence checks
+        # (``probe`` and the MSHR admission scan); the per-set lists
+        # remain the source of truth for LRU order and eviction.
+        self._present: set[int] = set()
         # Outstanding misses: line addr -> list of opaque waiter tokens.
         self.mshr: dict[int, list[object]] = {}
         self.stats = CacheStats()
+        #: Mutation generation: bumped whenever line *presence* or MSHR
+        #: *occupancy* changes (MSHR allocation, fill/eviction, flush).
+        #: LRU reordering and waiter merges do not bump it.  While ``gen``
+        #: is unchanged, any admission decision derived from ``probe``,
+        #: MSHR membership and ``mshr_free`` is guaranteed to repeat —
+        #: the SM uses this to replay MSHR rejections in O(1).
+        self.gen = 0
 
     # ------------------------------------------------------------------
     def _set_index(self, line_addr: int) -> int:
@@ -54,7 +65,7 @@ class Cache:
 
     def probe(self, line_addr: int) -> bool:
         """Non-destructive presence check (no stats, no LRU update)."""
-        return line_addr in self._sets[self._set_index(line_addr)]
+        return line_addr in self._present
 
     def lookup(self, line_addr: int, waiter: object,
                allocate: bool = True) -> str:
@@ -64,9 +75,9 @@ class Cache:
         take an MSHR and the result is ``"bypass"``.
         """
         self.stats.accesses += 1
-        s = self._sets[self._set_index(line_addr)]
-        if line_addr in s:
+        if line_addr in self._present:
             self.stats.hits += 1
+            s = self._sets[self._set_index(line_addr)]
             s.remove(line_addr)
             s.append(line_addr)  # MRU
             return "hit"
@@ -85,6 +96,7 @@ class Cache:
             return "reject"
         self.stats.misses += 1
         self.mshr[line_addr] = [waiter]
+        self.gen += 1
         return "miss"
 
     def fill(self, line_addr: int) -> list[object]:
@@ -93,9 +105,11 @@ class Cache:
         s = self._sets[self._set_index(line_addr)]
         if line_addr not in s:
             if len(s) >= self.assoc:
-                s.pop(0)  # evict LRU
+                self._present.discard(s.pop(0))  # evict LRU
                 self.stats.evictions += 1
             s.append(line_addr)
+            self._present.add(line_addr)
+        self.gen += 1
         return waiters
 
     @property
@@ -109,3 +123,5 @@ class Cache:
             raise RuntimeError("cannot flush with outstanding misses")
         for s in self._sets:
             s.clear()
+        self._present.clear()
+        self.gen += 1

@@ -71,17 +71,25 @@ class MemoryHierarchy:
     # load path
     # ------------------------------------------------------------------
     def try_load(self, sm_id: int, lines: tuple[int, ...], now: int,
-                 on_done: Callable[[int], None]) -> bool:
+                 on_done: Callable[[int], None], *,
+                 assume_unique: bool = False) -> bool:
         """Issue a warp load for ``lines``; False on L1 MSHR exhaustion.
 
         All-or-nothing: either every transaction is accepted (hits respond
         after the L1 hit latency, misses propagate down) or the access has
-        no side effects and the warp must retry (structural stall).
+        no side effects (beyond the reject counter) and the warp must
+        retry (structural stall).  ``assume_unique=True`` promises that
+        ``lines`` carries no duplicates (the SM's pending-access cache
+        stores deduplicated tuples), skipping the dedup pass.
         """
         l1 = self.l1[sm_id]
-        uniq = tuple(dict.fromkeys(lines))
-        new = sum(1 for ln in uniq
-                  if not l1.probe(ln) and ln not in l1.mshr)
+        uniq = lines if assume_unique else tuple(dict.fromkeys(lines))
+        mshr = l1.mshr
+        present = l1._present
+        new = 0
+        for ln in uniq:
+            if ln not in present and ln not in mshr:
+                new += 1
         if new > l1.mshr_free:
             l1.stats.mshr_rejects += 1
             return False

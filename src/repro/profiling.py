@@ -1,0 +1,44 @@
+"""Opt-in cProfile wrapper behind the CLIs' ``--profile`` flag.
+
+Both entry points (``python -m repro`` and ``python -m repro.harness``)
+accept ``--profile``: the command runs unchanged under :mod:`cProfile`
+and a top-20-by-cumulative-time table is printed to stderr afterwards,
+so normal stdout output (reports, result summaries) stays parseable.
+
+This is the first tool to reach for when simulator throughput regresses
+— see docs/performance.md for how to read the table against the fast
+core's hot path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from typing import Any, Callable, TextIO
+
+__all__ = ["profiled"]
+
+#: Rows of the hot-function table printed after a profiled run.
+TOP_N = 20
+
+
+def profiled(fn: Callable[..., Any], *args: Any,
+             stream: TextIO | None = None, **kwargs: Any) -> Any:
+    """Run ``fn(*args, **kwargs)`` under cProfile; return its result.
+
+    The profile table (top ``TOP_N`` functions by cumulative time) goes
+    to ``stream`` (default stderr) after the call — including when the
+    call raises, so a profile of the work done before a crash or
+    KeyboardInterrupt is still reported.
+    """
+    out = sys.stderr if stream is None else stream
+    prof = cProfile.Profile()
+    try:
+        return prof.runcall(fn, *args, **kwargs)
+    finally:
+        stats = pstats.Stats(prof, stream=out)
+        stats.sort_stats("cumulative")
+        print(f"--- profile: top {TOP_N} by cumulative time ---",
+              file=out)
+        stats.print_stats(TOP_N)

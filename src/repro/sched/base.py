@@ -9,10 +9,13 @@ in fetch groups.
 
 ``pick(cycle, issuable)`` returns a READY warp for which the
 ``issuable`` predicate holds (the SM uses the predicate for same-cycle
-structural constraints such as the single LD/ST port), or None.  The SM
-then attempts the issue; if the warp turns out to be blocked (shared-pool
-lock, Dyn refusal, MSHR rejection) it leaves the ready list and ``pick``
-is consulted again in the same cycle.
+structural constraints such as the single LD/ST port), or None.
+``issuable=None`` means *every* ready warp is issuable — the common case
+(LD/ST port still free), which every policy short-circuits without any
+per-candidate predicate calls.  The SM then attempts the issue; if the
+warp turns out to be blocked (shared-pool lock, Dyn refusal, MSHR
+rejection) it leaves the ready list and ``pick`` is consulted again in
+the same cycle.
 """
 
 from __future__ import annotations
@@ -66,31 +69,67 @@ class SortedWarpList:
         yield from self._warps[i:]
         yield from self._warps[:i]
 
+    def first(self) -> Optional["WarpContext"]:
+        """Lowest-id (oldest) warp, or None when empty."""
+        return self._warps[0] if self._warps else None
+
+    def first_after(self, after_id: int) -> Optional["WarpContext"]:
+        """First warp strictly after ``after_id``, wrapping; None if empty."""
+        if not self._warps:
+            return None
+        i = bisect_right(self._ids, after_id)
+        return self._warps[i] if i < len(self._warps) else self._warps[0]
+
 
 class WarpScheduler:
-    """Base class; subclasses implement :meth:`pick`."""
+    """Base class; subclasses implement :meth:`pick`.
+
+    Two views of the partition coexist:
+
+    ``ready``
+        The sorted READY-warp list every :meth:`pick` policy is defined
+        over.  The reference core maintains it on every state
+        transition.
+    ``warps`` / ``n_ready``
+        The *static* partition (all resident warps, appended in launch
+        order, i.e. ascending ``dynamic_id``) plus an O(1) READY count.
+        The fast core maintains only ``n_ready`` on state transitions
+        and evaluates the four built-in policies inline over ``warps``
+        (see ``SMCore.step``), skipping the sorted-list churn entirely;
+        the two formulations are proved pick-for-pick equivalent by the
+        differential golden suite.
+    """
 
     name = "base"
 
     def __init__(self, sched_id: int, **_: object) -> None:
         self.sched_id = sched_id
         self.ready = SortedWarpList()
+        #: Static partition: every resident warp, ascending dynamic_id.
+        self.warps: list["WarpContext"] = []
+        #: Number of READY warps in the partition (fast-core counter).
+        self.n_ready = 0
         self.last: Optional["WarpContext"] = None
 
     # -- ready-list maintenance (driven by the SM) ---------------------
     def on_ready(self, warp: "WarpContext") -> None:
+        """Register a newly launched (READY) warp with this scheduler."""
         self.ready.add(warp)
+        self.warps.append(warp)
+        self.n_ready += 1
 
     def on_unready(self, warp: "WarpContext") -> None:
         self.ready.discard(warp)
+        self.n_ready -= 1
 
     def on_issued(self, warp: "WarpContext") -> None:
         self.last = warp
 
     # -- policy ---------------------------------------------------------
     def pick(self, cycle: int,
-             issuable: Callable[["WarpContext"], bool]
+             issuable: Optional[Callable[["WarpContext"], bool]] = None
              ) -> Optional["WarpContext"]:
+        """Select a ready warp (``issuable=None`` → all are issuable)."""
         raise NotImplementedError
 
 

@@ -19,13 +19,16 @@ class GTOScheduler(WarpScheduler):
     name = "gto"
 
     def pick(self, cycle: int,
-             issuable: Callable[["WarpContext"], bool]
+             issuable: Optional[Callable[["WarpContext"], bool]] = None
              ) -> Optional["WarpContext"]:
         last = self.last
         if (last is not None and last.state is WarpState.READY
-                and last in self.ready and issuable(last)):
+                and last in self.ready
+                and (issuable is None or issuable(last))):
             return last
-        for w in self.ready:  # sorted by dynamic id == age
+        if issuable is None:
+            return self.ready.first()  # sorted by dynamic id == age
+        for w in self.ready:
             if issuable(w):
                 return w
         return None

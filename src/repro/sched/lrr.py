@@ -22,8 +22,10 @@ class LRRScheduler(WarpScheduler):
         self._after = -1
 
     def pick(self, cycle: int,
-             issuable: Callable[["WarpContext"], bool]
+             issuable: Optional[Callable[["WarpContext"], bool]] = None
              ) -> Optional["WarpContext"]:
+        if issuable is None:
+            return self.ready.first_after(self._after)
         for w in self.ready.iter_round_robin(self._after):
             if issuable(w):
                 return w

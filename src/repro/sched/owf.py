@@ -34,23 +34,38 @@ class OWFScheduler(WarpScheduler):
     name = "owf"
 
     def pick(self, cycle: int,
-             issuable: Callable[["WarpContext"], bool]
+             issuable: Optional[Callable[["WarpContext"], bool]] = None
              ) -> Optional["WarpContext"]:
         best: Optional["WarpContext"] = None
         best_cls = 3
-        for w in self.ready:  # id order ⇒ first hit per class is oldest
-            cls = w.owf_class()
-            if cls < best_cls and issuable(w):
-                best = w
-                best_cls = cls
-                if cls == 0:
-                    break
+        if issuable is None:
+            # Inlined owf_class(): this loop runs for every ready warp
+            # on every pick of the paper's headline scheduler.
+            for w in self.ready:  # id order ⇒ first hit per class oldest
+                blk = w.block
+                pair = blk.pair
+                cls = 1 if pair is None else (
+                    0 if pair.owner_side() == blk.side else 2)
+                if cls < best_cls:
+                    best = w
+                    best_cls = cls
+                    if cls == 0:
+                        break
+        else:
+            for w in self.ready:
+                cls = w.owf_class()
+                if cls < best_cls and issuable(w):
+                    best = w
+                    best_cls = cls
+                    if cls == 0:
+                        break
         if best is None:
             return None
         last = self.last
         if (last is not None and last is not best
                 and last.state is WarpState.READY and last in self.ready
-                and last.owf_class() == best_cls and issuable(last)):
+                and last.owf_class() == best_cls
+                and (issuable is None or issuable(last))):
             return last  # greedy stickiness within the winning class
         return best
 

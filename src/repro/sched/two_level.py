@@ -37,11 +37,21 @@ class TwoLevelScheduler(WarpScheduler):
         return warp.dynamic_id // self.group_size
 
     def pick(self, cycle: int,
-             issuable: Callable[["WarpContext"], bool]
+             issuable: Optional[Callable[["WarpContext"], bool]] = None
              ) -> Optional["WarpContext"]:
         ready = self.ready
         if not len(ready):
             return None
+        if issuable is None:
+            # Pass 1: round-robin inside the active group.
+            for w in ready.iter_round_robin(self._after):
+                if self._group_of(w) == self._active_group:
+                    return w
+            # Pass 2: no ready warp is in the active group, so the oldest
+            # ready warp is in another group — switch to it.
+            w = ready.first()
+            self._active_group = self._group_of(w)
+            return w
         # Pass 1: round-robin inside the active group.
         for w in ready.iter_round_robin(self._after):
             if self._group_of(w) == self._active_group and issuable(w):

@@ -1,7 +1,24 @@
-"""Top-level GPU: clock loop, cycle accounting, bulk idle skipping."""
+"""Top-level GPU: clock loop, cycle accounting, bulk idle skipping.
+
+Two interchangeable cores run the same machine model (see
+docs/performance.md):
+
+* the **fast core** (default) — event-driven ready sets: SMs whose
+  ready sets are empty are not stepped, scheduler picks skip predicate
+  calls while the LD/ST port is free, MSHR-rejected accesses replay in
+  O(1), and when no SM can issue the clock jumps to the next event in
+  one step while charging the skipped span to the same cycle taxonomy;
+* the **reference core** (``core="reference"`` or the
+  ``REPRO_REFERENCE_CORE=1`` environment variable) — the original
+  scan-every-warp loop, kept as the differential-testing oracle.
+
+Both must produce bit-identical :class:`RunResult`\\ s; the golden core
+suite (``tests/test_core_equivalence.py``) enforces it.
+"""
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from repro.config import GPUConfig
@@ -36,7 +53,10 @@ class GPU:
     ``plan`` selects resource sharing (None → baseline, all blocks
     unshared); ``scheduler`` is one of ``lrr``/``gto``/``two_level``/
     ``owf``; ``dyn`` enables the Sec. IV-C dynamic warp execution
-    controller (only meaningful with register sharing).
+    controller (only meaningful with register sharing); ``core`` picks
+    the simulator core (``"fast"`` or ``"reference"``; the
+    ``REPRO_REFERENCE_CORE`` environment variable, when set to anything
+    but ``0``/empty, forces the reference core).
     """
 
     def __init__(self, kernel: Kernel, config: GPUConfig, *,
@@ -45,7 +65,14 @@ class GPU:
                  dyn: bool = False,
                  early_release: bool = False,
                  mode: str = "",
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False,
+                 core: str = "fast") -> None:
+        if core not in ("fast", "reference"):
+            raise ValueError(f"unknown core {core!r}; "
+                             f"choose 'fast' or 'reference'")
+        if os.environ.get("REPRO_REFERENCE_CORE", "") not in ("", "0"):
+            core = "reference"
+        self.core = core
         self.kernel = kernel
         self.cfg = config
         self.mode = mode or scheduler
@@ -74,8 +101,13 @@ class GPU:
                 and sharing_rt.resource is SharedResource.REGISTERS):
             liveness = SharedLiveness(kernel)
 
+        if self.core == "reference":
+            from repro.sim.refcore import ReferenceSMCore
+            sm_cls: type[SMCore] = ReferenceSMCore
+        else:
+            sm_cls = SMCore
         self.sms = [
-            SMCore(i, kernel, config, self.events, self.hierarchy, self.amap,
+            sm_cls(i, kernel, config, self.events, self.hierarchy, self.amap,
                    scheduler, sharing=sharing_rt, dyn=self.dyn,
                    liveness=liveness, sanitizer=self.sanitizer)
             for i in range(config.num_sms)
@@ -90,13 +122,16 @@ class GPU:
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 2_000_000) -> RunResult:
         """Simulate until every grid block completes."""
+        if self.core == "reference":
+            return self._run_reference(max_cycles)
+        return self._run_fast(max_cycles)
+
+    def _prologue(self) -> None:
+        """Resident-block fill and the Dyn monitoring-window event chain."""
         events = self.events
         sms = self.sms
-        dispatcher = self.dispatcher
         dyn = self.dyn
-        sanitizer = self.sanitizer
-
-        dispatcher.initial_fill(0)
+        self.dispatcher.initial_fill(0)
         if dyn is not None:
             def _window(cycle: int) -> None:
                 dyn.end_window()
@@ -105,6 +140,108 @@ class GPU:
                 events.push(cycle + dyn.period, _window)
             events.push(dyn.period, _window)
 
+    def _epilogue(self, cycle: int) -> RunResult:
+        if self.sanitizer is not None:
+            self.sanitizer.final(self, cycle)
+        stats = [sm.stats for sm in self.sms]
+        return RunResult(
+            kernel=self.kernel.name,
+            mode=self.mode,
+            cycles=cycle,
+            instructions=sum(s.instructions for s in stats),
+            sm_stats=stats,
+            mem=self.hierarchy.totals(),
+            blocks_baseline=(self.plan.baseline if self.plan is not None
+                             else self.dispatcher.blocks_per_sm),
+            blocks_total=self.dispatcher.blocks_per_sm,
+        )
+
+    def _limit_exceeded(self, max_cycles: int) -> SimulationLimitExceeded:
+        return SimulationLimitExceeded(
+            f"kernel {self.kernel.name!r} exceeded {max_cycles} cycles "
+            f"({self.dispatcher.completed}/{self.kernel.grid_blocks} blocks "
+            f"done)")
+
+    def _run_fast(self, max_cycles: int) -> RunResult:
+        """Event-driven ready-set loop (cycle-exact vs the reference).
+
+        Per cycle, only SMs whose ready sets are non-empty are stepped:
+        with empty ready lists every scheduler ``pick`` returns None, so
+        ``step`` could only have returned 0 without side effects — the
+        skip is exact.  Cycle accounting is unchanged (``classify`` is
+        O(1) on the fast core), so when no SM can issue and the clock
+        jumps to the next event, the skipped span is charged per SM to
+        the same class the intervening cycles would have received.
+        """
+        events = self.events
+        sms = self.sms
+        dispatcher = self.dispatcher
+        dyn = self.dyn
+        sanitizer = self.sanitizer
+
+        self._prologue()
+        kinds = [""] * len(sms)
+        cycle = 0
+        heap = events._heap  # peeked to skip no-op run_due calls
+        while not dispatcher.done:
+            if heap and heap[0][0] <= cycle:
+                events.run_due(cycle)
+                if dispatcher.done:
+                    break
+            all_zero = True
+            for i, sm in enumerate(sms):
+                # classify()/account() inlined: this runs once per SM
+                # per simulated cycle.
+                st = sm.stats
+                if sm._cat_n[0] and sm.step(cycle):
+                    st.active_cycles += 1
+                    kinds[i] = "active"
+                    all_zero = False
+                    continue
+                c = sm._cat_n
+                if c[1]:
+                    st.stall_cycles += 1
+                    kinds[i] = "stall"
+                    if dyn is not None:
+                        dyn.record_stall(sm.sm_id)
+                elif c[0] or c[2]:
+                    st.idle_cycles += 1
+                    kinds[i] = "idle"
+                else:
+                    st.empty_cycles += 1
+                    kinds[i] = "empty"
+            cycle += 1
+            if all_zero and not any(sm._cat_n[0] for sm in sms):
+                nxt = events.next_cycle()
+                if nxt is None:
+                    raise SimulationDeadlock(self._deadlock_report(cycle))
+                if nxt > cycle:
+                    gap = nxt - cycle
+                    for sm, kind in zip(sms, kinds):
+                        sm.account(kind, gap)
+                        if dyn is not None and kind == "stall":
+                            dyn.record_stall(sm.sm_id, gap)
+                    cycle = nxt
+            if sanitizer is not None:
+                sanitizer.maybe_check(self, cycle)
+            if cycle > max_cycles:
+                raise self._limit_exceeded(max_cycles)
+
+        return self._epilogue(cycle)
+
+    def _run_reference(self, max_cycles: int) -> RunResult:
+        """The original loop: step every SM, scan-based classification.
+
+        Kept verbatim as the differential-testing oracle; do not
+        optimise this path.
+        """
+        events = self.events
+        sms = self.sms
+        dispatcher = self.dispatcher
+        dyn = self.dyn
+        sanitizer = self.sanitizer
+
+        self._prologue()
         cycle = 0
         while not dispatcher.done:
             events.run_due(cycle)
@@ -139,25 +276,9 @@ class GPU:
             if sanitizer is not None:
                 sanitizer.maybe_check(self, cycle)
             if cycle > max_cycles:
-                raise SimulationLimitExceeded(
-                    f"kernel {self.kernel.name!r} exceeded {max_cycles} cycles "
-                    f"({dispatcher.completed}/{self.kernel.grid_blocks} blocks "
-                    f"done)")
+                raise self._limit_exceeded(max_cycles)
 
-        if sanitizer is not None:
-            sanitizer.final(self, cycle)
-        stats = [sm.stats for sm in sms]
-        return RunResult(
-            kernel=self.kernel.name,
-            mode=self.mode,
-            cycles=cycle,
-            instructions=sum(s.instructions for s in stats),
-            sm_stats=stats,
-            mem=self.hierarchy.totals(),
-            blocks_baseline=(self.plan.baseline if self.plan is not None
-                             else dispatcher.blocks_per_sm),
-            blocks_total=dispatcher.blocks_per_sm,
-        )
+        return self._epilogue(cycle)
 
     # ------------------------------------------------------------------
     def _deadlock_report(self, cycle: int) -> str:

@@ -47,13 +47,38 @@ _DYN_COOLDOWN = 64
 #: Extra cycles per additional scratchpad bank-conflict way.
 _BANK_CONFLICT = 8
 
-#: op → functional group, precomputed for the hot path.
+#: op → functional group (kept for the reference core / tracers; the
+#: fast core reads the precomputed ``Instr.group`` attribute instead).
 _GROUP: dict[Op, str] = {op: op_group(op) for op in Op}
 
 _STALL_STATES = frozenset({WarpState.BLOCK_SB, WarpState.BLOCK_MEM,
                            WarpState.BLOCK_RETRY})
 _IDLE_STATES = frozenset({WarpState.BLOCK_BAR, WarpState.BLOCK_LOCK,
                           WarpState.BLOCK_DYN})
+
+#: WarpState → cycle-taxonomy category, indexed by state value:
+#: 0 = ready, 1 = stall (_STALL_STATES), 2 = idle (_IDLE_STATES),
+#: 3 = finished (untracked by :meth:`SMCore.classify`).
+_CAT = (0, 1, 1, 2, 2, 2, 1, 3)
+
+# Hot-path aliases: enum member access goes through the Enum metaclass,
+# which is measurable at hundreds of thousands of issues per second.
+_READY = WarpState.READY
+_BLOCK_SB = WarpState.BLOCK_SB
+_BLOCK_LOCK = WarpState.BLOCK_LOCK
+_BLOCK_DYN = WarpState.BLOCK_DYN
+_BLOCK_RETRY = WarpState.BLOCK_RETRY
+_BLOCK_BAR = WarpState.BLOCK_BAR
+_BLOCK_MEM = WarpState.BLOCK_MEM
+
+#: Issue predicate used when the LD/ST port is taken: only non-memory
+#: instructions may still issue this cycle.
+_NON_MEM = (lambda w: not w.instr.uses_port)
+
+#: Scheduling policies the fast core evaluates inline in :meth:`SMCore.step`
+#: (over the static partition + READY states, no sorted-list upkeep).
+#: Anything else uses the generic ``pick`` protocol over ``sched.ready``.
+_PICK_IDS = {"lrr": 0, "gto": 1, "two_level": 2, "owf": 3}
 
 
 @dataclass(frozen=True)
@@ -86,6 +111,8 @@ class SMCore:
         self.lat = config.latency
         self.events = events
         self.hierarchy = hierarchy
+        #: This SM's L1 (alias into the hierarchy, hot in ``_try_issue``).
+        self.l1 = hierarchy.l1[sm_id]
         self.amap = amap
         self.sharing = sharing
         self.dyn = dyn
@@ -98,6 +125,11 @@ class SMCore:
                            fetch_group_size=config.fetch_group_size)
             for i in range(config.num_schedulers)
         ]
+        #: Policy id for the fused issue loop in :meth:`step`; -1 falls
+        #: back to the generic ``pick`` protocol (externally registered
+        #: policies), which needs the sorted ready lists maintained.
+        self._pid = _PICK_IDS.get(scheduler, -1)
+        self._generic = self._pid < 0
         self.stats = SMStats(sm_id=sm_id)
         self.warps: list[WarpContext] = []
         self.resident_blocks = 0
@@ -107,6 +139,10 @@ class SMCore:
         self._mem_port_free = True
         self._lock_blocked: list[WarpContext] = []
         self._dyn_blocked: list[WarpContext] = []
+        #: Warps per taxonomy category (see ``_CAT``), maintained
+        #: incrementally by :meth:`_set_state` so :meth:`classify` and
+        #: :meth:`has_ready` are O(1) instead of scanning every warp.
+        self._cat_n = [0, 0, 0, 0]
 
     # ------------------------------------------------------------------
     # block/warp lifecycle
@@ -125,50 +161,68 @@ class SMCore:
             self._next_warp_id += 1
             block.warps.append(w)
             self.warps.append(w)
-            self._sched_of(w).on_ready(w)
+            w.sched = self.schedulers[w.dynamic_id % len(self.schedulers)]
+            w.sched.on_ready(w)
+        self._cat_n[0] += block.n_warps
         self.resident_blocks += 1
         self.stats.blocks_launched += 1
         if self.resident_blocks > self.stats.max_resident_blocks:
             self.stats.max_resident_blocks = self.resident_blocks
 
     def _sched_of(self, warp: WarpContext) -> WarpScheduler:
-        return self.schedulers[warp.dynamic_id % len(self.schedulers)]
+        return warp.sched
 
     # ------------------------------------------------------------------
     # state transitions
     # ------------------------------------------------------------------
     def _set_state(self, warp: WarpContext, state: WarpState) -> None:
+        # Runs twice per state round-trip of every issue and retry.  The
+        # fast core only maintains the O(1) ``n_ready`` counter; the
+        # sorted ready lists are bypassed entirely (the fused ``step``
+        # evaluates the built-in policies over the static partition) —
+        # except for externally registered policies, whose ``pick``
+        # still consumes ``sched.ready``.
         old = warp.state
         if old is state:
             return
-        if old is WarpState.READY:
-            self._sched_of(warp).on_unready(warp)
-        elif state is WarpState.READY:
-            self._sched_of(warp).on_ready(warp)
+        sched = warp.sched
+        if old is _READY:
+            sched.n_ready -= 1
+            if self._generic:
+                sched.ready.discard(warp)
+        elif state is _READY:
+            sched.n_ready += 1
+            if self._generic:
+                sched.ready.add(warp)
+        c = self._cat_n
+        c[_CAT[old]] -= 1
+        c[_CAT[state]] += 1
         warp.state = state
         warp.wake_token += 1
 
-    def _timed_wake(self, warp: WarpContext, at: int,
-                    expected: WarpState) -> None:
-        token = warp.wake_token
-
-        def _fire(cycle: int) -> None:
-            if warp.wake_token == token and warp.state is expected:
-                self.now = cycle
-                self._update_readiness(warp, cycle)
-
-        self.events.push(at, _fire)
-
     def _update_readiness(self, warp: WarpContext, cycle: int) -> None:
-        """Re-derive a warp's scoreboard wait state for its next instr."""
-        e = warp.earliest_issue()
+        """Re-derive a warp's scoreboard wait state for its next instr.
+
+        Timed wakes go through :meth:`EventQueue.push_wake`: a blocked
+        warp's operand readiness can only improve (loads lower
+        ``reg_ready`` entries, nothing raises them while the warp cannot
+        issue), so a still-valid wake deterministically lands in the
+        ``e <= cycle + 1`` branch and the queue sets it READY directly.
+        """
+        # warp.earliest_issue() inlined: one call per issue and retry.
+        e = 0
+        rr = warp.reg_ready
+        for r in warp.instr.regs:
+            v = rr[r]
+            if v > e:
+                e = v
         if e >= REG_PENDING:
-            self._set_state(warp, WarpState.BLOCK_MEM)
+            self._set_state(warp, _BLOCK_MEM)
         elif e <= cycle + 1:
-            self._set_state(warp, WarpState.READY)
+            self._set_state(warp, _READY)
         else:
-            self._set_state(warp, WarpState.BLOCK_SB)
-            self._timed_wake(warp, e, WarpState.BLOCK_SB)
+            self._set_state(warp, _BLOCK_SB)
+            self.events.push_wake(e, self, warp)
 
     # ------------------------------------------------------------------
     # wake paths
@@ -204,28 +258,130 @@ class SMCore:
     # ------------------------------------------------------------------
     def has_ready(self) -> bool:
         """True if any scheduler has a READY warp."""
-        return any(len(s.ready) for s in self.schedulers)
+        return self._cat_n[0] > 0
 
     def _issuable(self, warp: WarpContext) -> bool:
-        g = _GROUP[warp.current_instr.op]
-        if g == "global" or g == "shared":
+        if warp.instr.uses_port:
             return self._mem_port_free
         return True
 
     def step(self, cycle: int) -> int:
-        """Run one SM cycle; returns instructions issued (0..2)."""
+        """Run one SM cycle; returns instructions issued (0..2).
+
+        The four built-in policies are evaluated inline over each
+        scheduler's static partition (``sched.warps``, ascending
+        ``dynamic_id``) instead of through ``pick`` over the sorted
+        ready list.  A linear scan filtered on ``state is READY``
+        visits exactly the ready warps in id order, so each inline
+        loop is the policy's definition with the container swapped —
+        pick-for-pick equivalence is asserted by the differential
+        golden suite against the reference core, which still runs the
+        original ``pick`` implementations.
+        """
         self.now = cycle
+        port_free = True
         self._mem_port_free = True
         issued = 0
+        pid = self._pid
         for sched in self.schedulers:
-            while True:
-                w = sched.pick(cycle, self._issuable)
+            while sched.n_ready:
+                warps = sched.warps
+                w = None
+                if pid == 3:  # OWF: owner > unshared > non-owner, sticky
+                    best_cls = 3
+                    for c in warps:
+                        if c.state is not _READY or not (
+                                port_free or not c.instr.uses_port):
+                            continue
+                        blk = c.block
+                        pair = blk.pair
+                        cls = 1 if pair is None else (
+                            0 if pair.owner_side() == blk.side else 2)
+                        if cls < best_cls:
+                            w = c
+                            best_cls = cls
+                            if cls == 0:
+                                break
+                    if w is not None:
+                        last = sched.last
+                        if (last is not None and last is not w
+                                and last.state is _READY
+                                and last.owf_class() == best_cls
+                                and (port_free
+                                     or not last.instr.uses_port)):
+                            w = last  # greedy within the winning class
+                elif pid == 0:  # LRR: resume after the last issued id
+                    after = sched._after
+                    wrap = None
+                    for c in warps:
+                        if c.state is not _READY or not (
+                                port_free or not c.instr.uses_port):
+                            continue
+                        if c.dynamic_id > after:
+                            w = c
+                            break
+                        if wrap is None:
+                            wrap = c
+                    if w is None:
+                        w = wrap
+                elif pid == 1:  # GTO: sticky last, else oldest ready
+                    last = sched.last
+                    if (last is not None and last.state is _READY
+                            and (port_free or not last.instr.uses_port)):
+                        w = last
+                    else:
+                        for c in warps:
+                            if c.state is _READY and (
+                                    port_free or not c.instr.uses_port):
+                                w = c
+                                break
+                elif pid == 2:  # two-level: fetch-group round robin
+                    gs = sched.group_size
+                    g = sched._active_group
+                    after = sched._after
+                    wrap = None
+                    for c in warps:
+                        if c.state is not _READY or not (
+                                port_free or not c.instr.uses_port):
+                            continue
+                        if c.dynamic_id // gs != g:
+                            continue
+                        if c.dynamic_id > after:
+                            w = c
+                            break
+                        if wrap is None:
+                            wrap = c
+                    if w is None:
+                        w = wrap
+                    if w is None:
+                        # No issuable warp in the active group: switch
+                        # to the oldest issuable warp of another group.
+                        if port_free:
+                            for c in warps:
+                                if c.state is _READY:
+                                    w = c
+                                    sched._active_group = (
+                                        c.dynamic_id // gs)
+                                    break
+                        else:
+                            for c in warps:
+                                if (c.state is _READY
+                                        and not c.instr.uses_port
+                                        and c.dynamic_id // gs != g):
+                                    w = c
+                                    sched._active_group = (
+                                        c.dynamic_id // gs)
+                                    break
+                else:  # externally registered policy: generic protocol
+                    w = sched.pick(cycle,
+                                   None if port_free else _NON_MEM)
                 if w is None:
                     break
                 if self._try_issue(w, cycle, sched):
                     issued += 1
+                    port_free = self._mem_port_free
                     break
-                # otherwise the warp blocked and left the ready list;
+                # otherwise the warp blocked (left the READY state);
                 # give the scheduler another chance this cycle.
         return issued
 
@@ -260,8 +416,8 @@ class SMCore:
 
     def _try_issue(self, warp: WarpContext, cycle: int,
                    sched: WarpScheduler) -> bool:
-        ins = warp.current_instr
-        grp = _GROUP[ins.op]
+        ins = warp.instr
+        grp = ins.group
         block = warp.block
         pair = block.pair
         stats = self.stats
@@ -272,10 +428,9 @@ class SMCore:
             if (not self.dyn.allow(self.sm_id)
                     and not self._dyn_critical(warp)):
                 stats.dyn_refusals += 1
-                self._set_state(warp, WarpState.BLOCK_DYN)
+                self._set_state(warp, _BLOCK_DYN)
                 self._dyn_blocked.append(warp)
-                self._timed_wake(warp, cycle + _DYN_COOLDOWN,
-                                 WarpState.BLOCK_DYN)
+                self.events.push_wake(cycle + _DYN_COOLDOWN, self, warp)
                 return False
 
         # --- register sharing access check (Fig. 3) ---
@@ -283,7 +438,7 @@ class SMCore:
                 and self.sharing.resource is SharedResource.REGISTERS
                 and pair is not None):
             pr = self.sharing.private_regs
-            if any(r >= pr for r in ins.regs):
+            if ins.max_reg >= pr:
                 g = pair.reg_group
                 assert g is not None
                 if not g.holds(block.side, warp.slot):
@@ -292,7 +447,7 @@ class SMCore:
                         pair.note_acquired(block.side)
                     else:
                         stats.lock_waits += 1
-                        self._set_state(warp, WarpState.BLOCK_LOCK)
+                        self._set_state(warp, _BLOCK_LOCK)
                         self._lock_blocked.append(warp)
                         return False
 
@@ -315,7 +470,7 @@ class SMCore:
                         pair.note_acquired(block.side)
                     else:
                         stats.lock_waits += 1
-                        self._set_state(warp, WarpState.BLOCK_LOCK)
+                        self._set_state(warp, _BLOCK_LOCK)
                         self._lock_blocked.append(warp)
                         return False
 
@@ -323,26 +478,55 @@ class SMCore:
         if grp == "global":
             m = ins.mem
             assert m is not None
-            lines = coalesce_lines(
-                m, self.amap, block_linear=block.linear_id,
-                warp_in_block=warp.slot, warps_per_block=block.n_warps,
-                iter_idx=warp.iter_idx, line_size=self.cfg.line_size,
-                seed=self.kernel.seed)
             if ins.op is Op.LDG:
+                l1 = self.l1
+                if warp.pend_valid:
+                    # Retry of an MSHR-rejected access (``pend_valid``
+                    # is cleared by ``advance``, so the cached lines are
+                    # exactly this trace position's): the line set is a
+                    # pure function of the position, so reuse it.
+                    lines = warp.pend_lines
+                    if warp.pend_gen == l1.gen:
+                        # The L1 has not changed since the rejected
+                        # attempt, so the admission scan would reach the
+                        # same verdict — replay the rejection in O(1)
+                        # (same counters, same state transition).
+                        l1.stats.mshr_rejects += 1
+                        stats.mshr_stalls += 1
+                        self._set_state(warp, _BLOCK_RETRY)
+                        self.events.push_wake(cycle + _MSHR_RETRY,
+                                              self, warp)
+                        return False
+                else:
+                    lines = tuple(dict.fromkeys(coalesce_lines(
+                        m, self.amap, block_linear=block.linear_id,
+                        warp_in_block=warp.slot,
+                        warps_per_block=block.n_warps,
+                        iter_idx=warp.iter_idx,
+                        line_size=self.cfg.line_size,
+                        seed=self.kernel.seed)))
                 dst = ins.dst
                 on_done: Callable[[int], None] = (
                     lambda c, w=warp, d=dst: self._on_load_done(w, d, c))
                 if not self.hierarchy.try_load(self.sm_id, lines, cycle,
-                                               on_done):
+                                               on_done,
+                                               assume_unique=True):
                     stats.mshr_stalls += 1
-                    self._set_state(warp, WarpState.BLOCK_RETRY)
-                    self._timed_wake(warp, cycle + _MSHR_RETRY,
-                                     WarpState.BLOCK_RETRY)
+                    warp.pend_valid = True
+                    warp.pend_lines = lines
+                    warp.pend_gen = l1.gen
+                    self._set_state(warp, _BLOCK_RETRY)
+                    self.events.push_wake(cycle + _MSHR_RETRY, self, warp)
                     return False
                 for r in dst:
                     warp.reg_ready[r] = REG_PENDING
                 warp.outstanding_loads += 1
             else:
+                lines = coalesce_lines(
+                    m, self.amap, block_linear=block.linear_id,
+                    warp_in_block=warp.slot, warps_per_block=block.n_warps,
+                    iter_idx=warp.iter_idx, line_size=self.cfg.line_size,
+                    seed=self.kernel.seed)
                 self.hierarchy.store(self.sm_id, lines, cycle)
             self._mem_port_free = False
             stats.mem_instructions += 1
@@ -372,7 +556,20 @@ class SMCore:
             stats.issued_unshared += 1
         else:
             stats.issued_nonowner += 1
-        sched.on_issued(warp)
+        # sched.on_issued(warp) inlined per policy (one call per issue);
+        # externally registered policies keep the virtual call.
+        pid = self._pid
+        if pid == 1 or pid == 3:        # gto / owf: greedy stickiness
+            sched.last = warp
+        elif pid == 0:                  # lrr: rotate past this warp
+            sched.last = warp
+            sched._after = warp.dynamic_id
+        elif pid == 2:                  # two-level
+            sched.last = warp
+            sched._after = warp.dynamic_id
+            sched._active_group = warp.dynamic_id // sched.group_size
+        else:
+            sched.on_issued(warp)
 
         if grp == "exit":
             self._finish_warp(warp, cycle)
@@ -436,6 +633,7 @@ class SMCore:
         self.resident_blocks -= 1
         for w in block.warps:
             self.warps.remove(w)
+            w.sched.warps.remove(w)
         assert self.dispatcher is not None
         # detach (inside on_block_done) releases the scratchpad lock and
         # wakes partner warps; then the slot is refilled.
@@ -445,15 +643,16 @@ class SMCore:
     # cycle taxonomy (paper Fig. 9 metrics)
     # ------------------------------------------------------------------
     def classify(self) -> str:
-        """Classify a no-issue cycle as 'stall', 'idle' or 'empty'."""
-        saw_warp = False
-        for w in self.warps:
-            st = w.state
-            if st in _STALL_STATES:
-                return "stall"
-            if st is not WarpState.FINISHED:
-                saw_warp = True
-        return "idle" if saw_warp else "empty"
+        """Classify a no-issue cycle as 'stall', 'idle' or 'empty'.
+
+        O(1): reads the incremental per-category counters instead of
+        scanning the resident warps (the reference core keeps the scan;
+        the differential suite pins both to the same answers).
+        """
+        c = self._cat_n
+        if c[1]:
+            return "stall"
+        return "idle" if c[0] or c[2] else "empty"
 
     def account(self, kind: str, n: int = 1) -> None:
         """Add ``n`` cycles of class ``kind`` to the counters."""

@@ -55,9 +55,10 @@ class WarpContext:
 
     __slots__ = (
         "dynamic_id", "slot", "block", "kernel",
-        "_seg", "_rep", "_pc", "repeats",
+        "_seg", "_pc", "_instrs", "iter_idx", "repeats",
         "reg_ready", "outstanding_loads",
         "state", "wake_token", "issued", "shared_done",
+        "instr", "sched", "pend_valid", "pend_lines", "pend_gen",
     )
 
     def __init__(self, dynamic_id: int, slot: int, block: "BlockContext",
@@ -69,8 +70,11 @@ class WarpContext:
         self.block = block
         self.kernel = kernel
         self._seg = 0
-        self._rep = 0
         self._pc = 0
+        #: Loop iteration (segment repetition) of the current instruction.
+        self.iter_idx = 0
+        #: The current segment's instruction list (hot in :meth:`advance`).
+        self._instrs = kernel.segments[0].instrs
         #: Per-segment trip counts, scaled by the kernel's work_variance
         #: with a deterministic per-(block, warp, segment) factor.
         self.repeats = _warp_repeats(kernel, block.linear_id, slot)
@@ -85,6 +89,24 @@ class WarpContext:
         #: Early-release extension: set once live-range analysis proves
         #: this warp will never touch its shared register pool again.
         self.shared_done = False
+        #: The next instruction to issue, kept in sync by :meth:`advance`
+        #: (caching it avoids two indexed lookups per scheduler probe).
+        self.instr: Instr = kernel.segments[0].instrs[0]
+        #: Scheduler this warp is partitioned onto (set at launch).
+        self.sched = None
+        #: Pending-access cache: coalesced line addresses of a global
+        #: access that was rejected by a full MSHR array.  The line set
+        #: of a dynamic access is a pure function of the trace position,
+        #: and :meth:`advance` clears ``pend_valid`` whenever the
+        #: position moves, so while the flag is set the cache belongs to
+        #: the current instruction and MSHR retries reuse it instead of
+        #: re-coalescing.  ``pend_gen`` snapshots the L1 mutation
+        #: generation at the failed attempt: if it is unchanged at retry
+        #: time, the L1's admission decision is provably identical and
+        #: the reject is replayed in O(1) (see SMCore._try_issue).
+        self.pend_valid = False
+        self.pend_lines: tuple[int, ...] = ()
+        self.pend_gen = -1
 
     # ------------------------------------------------------------------
     # trace navigation
@@ -92,30 +114,34 @@ class WarpContext:
     @property
     def current_instr(self) -> Instr:
         """The next instruction this warp will issue."""
-        return self.kernel.segments[self._seg].instrs[self._pc]
-
-    @property
-    def iter_idx(self) -> int:
-        """Loop iteration (segment repetition) of the current instruction."""
-        return self._rep
+        return self.instr
 
     def advance(self) -> None:
         """Move the trace pointer past the just-issued instruction."""
-        seg = self.kernel.segments[self._seg]
-        self._pc += 1
-        if self._pc == len(seg.instrs):
-            self._pc = 0
-            self._rep += 1
-            if self._rep == self.repeats[self._seg]:
-                self._rep = 0
-                self._seg += 1
-        # EXIT is the last instruction; the SM marks the warp FINISHED
-        # instead of advancing past the end.
+        instrs = self._instrs
+        pc = self._pc + 1
+        if pc < len(instrs):
+            # Common case: next instruction in the same segment pass.
+            self._pc = pc
+            self.instr = instrs[pc]
+            self.pend_valid = False
+            return
+        self._pc = 0
+        rep = self.iter_idx + 1
+        if rep == self.repeats[self._seg]:
+            rep = 0
+            self._seg += 1
+            # EXIT is the last instruction; the SM marks the warp
+            # FINISHED instead of advancing past the end.
+            self._instrs = instrs = self.kernel.segments[self._seg].instrs
+        self.iter_idx = rep
+        self.instr = instrs[0]
+        self.pend_valid = False
 
     @property
     def trace_position(self) -> tuple[int, int, int]:
         """Current (segment, repetition, pc) — the next instruction."""
-        return (self._seg, self._rep, self._pc)
+        return (self._seg, self.iter_idx, self._pc)
 
     @property
     def expected_instructions(self) -> int:
@@ -133,7 +159,7 @@ class WarpContext:
         """
         ready = 0
         rr = self.reg_ready
-        for r in self.current_instr.regs:
+        for r in self.instr.regs:
             v = rr[r]
             if v > ready:
                 ready = v
