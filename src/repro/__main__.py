@@ -85,6 +85,14 @@ def main(argv: list[str] | None = None) -> int:
                     help="re-raise failures instead of reporting them")
     pr.add_argument("--sanitize", action="store_true",
                     help="validate runtime invariants during the run")
+    pr.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="write a Chrome trace-event timeline (load in "
+                         "Perfetto / chrome://tracing; a .jsonl suffix "
+                         "selects the line-stream form); bypasses the "
+                         "result cache")
+    pr.add_argument("--metrics", action="store_true",
+                    help="collect the observability metrics registry and "
+                         "print a warp-state breakdown")
 
     pd = sub.add_parser("disasm", help="dump assembly listing")
     pd.add_argument("kernel")
@@ -162,7 +170,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                     sanitize=args.sanitize or None)
     res = engine.run_one(RunSpec.create(target, mode, config=cfg,
                                         scale=args.scale, waves=args.waves,
-                                        max_cycles=args.max_cycles))
+                                        max_cycles=args.max_cycles,
+                                        trace=args.trace,
+                                        metrics=args.metrics))
     if isinstance(res, RunFailure):
         print(f"RUN FAILED [{res.category}] {res.app} [{res.mode}]: "
               f"{res.exception_type} after {res.attempts} attempt(s)\n"
@@ -177,6 +187,28 @@ def _dispatch(args: argparse.Namespace) -> int:
         v = s[key]
         print(f"  {key:20s} {v:.4g}" if isinstance(v, float)
               else f"  {key:20s} {v}")
+    if res.metrics is not None:
+        _print_warp_state_breakdown(res.metrics)
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _print_warp_state_breakdown(metrics: dict) -> int:
+    """Fig. 10-style warp-state cycle breakdown from the registry."""
+    hists = metrics.get("histograms", {})
+    rows = []
+    for key, h in sorted(hists.items()):
+        if key.startswith("warp_state_cycles{"):
+            state = key[len("warp_state_cycles{state="):-1]
+            rows.append((state, h["sum"], h["count"]))
+    if not rows:
+        return 0
+    total = sum(r[1] for r in rows) or 1
+    print("warp-state cycles (all warps):")
+    for state, tot, count in sorted(rows, key=lambda r: -r[1]):
+        print(f"  {state:18s} {tot:>12d}  ({100.0 * tot / total:5.1f}%  "
+              f"over {count} intervals)")
     return 0
 
 

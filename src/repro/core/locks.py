@@ -24,7 +24,11 @@ Scratchpad sharing (paper Sec. III-B)
 The managers are pure state machines over ``side ∈ {0, 1}`` (which member
 of the pair) and ``slot`` (warp index within the block); the simulator
 maps its block/warp objects onto these.  An optional ``on_release``
-callback lets the SM wake warps that were busy-waiting.
+callback lets the SM wake warps that were busy-waiting, and an optional
+``obs`` adapter (``acquired(side, slot)`` / ``released(side, slot)``,
+see :class:`repro.obs.sink._LockObs`) publishes grant/release events to
+the observability layer — the groups themselves stay clock-free; the
+adapter supplies the timestamps.
 """
 
 from __future__ import annotations
@@ -45,6 +49,8 @@ class RegisterShareGroup:
         self._held_count = [0, 0]
         self._finished = [[False] * n_slots, [False] * n_slots]
         self.on_release: Callable[[], None] | None = None
+        #: Observability adapter (None = not observed).
+        self.obs = None
 
     # ------------------------------------------------------------------
     def holder(self, slot: int) -> Optional[int]:
@@ -95,6 +101,8 @@ class RegisterShareGroup:
             return False  # direction rule: partner side has live holders
         self._holder[slot] = side
         self._held_count[side] += 1
+        if self.obs is not None:
+            self.obs.acquired(side, slot)
         return True
 
     def warp_finished(self, side: int, slot: int) -> None:
@@ -106,6 +114,8 @@ class RegisterShareGroup:
         if self._holder[slot] == side:
             self._holder[slot] = None
             self._held_count[side] -= 1
+            if self.obs is not None:
+                self.obs.released(side, slot)
             if self.on_release is not None:
                 self.on_release()
 
@@ -153,6 +163,8 @@ class ScratchpadShareGroup:
     def __init__(self) -> None:
         self._holder: Optional[int] = None
         self.on_release: Callable[[], None] | None = None
+        #: Observability adapter (None = not observed).
+        self.obs = None
 
     @property
     def holder(self) -> Optional[int]:
@@ -169,6 +181,8 @@ class ScratchpadShareGroup:
             raise ValueError("side must be 0 or 1")
         if self._holder is None:
             self._holder = side
+            if self.obs is not None:
+                self.obs.acquired(side, 0)
             return True
         return self._holder == side
 
@@ -176,6 +190,8 @@ class ScratchpadShareGroup:
         """Release the region if held by ``side`` (block completion)."""
         if self._holder == side:
             self._holder = None
+            if self.obs is not None:
+                self.obs.released(side, 0)
             if self.on_release is not None:
                 self.on_release()
 

@@ -15,7 +15,6 @@ block pair).  Totals are multiplied by the SM count ``N``.
 
 from __future__ import annotations
 
-import math
 
 from repro.config import GPUConfig
 

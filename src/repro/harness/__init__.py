@@ -7,7 +7,8 @@ from repro.harness.resilience import (BatchReport, RetryPolicy, RunFailure,
                                       split_results)
 from repro.harness.faults import FaultInjector, corrupt_cache_entry
 from repro.harness.experiments import EXPERIMENTS, run_experiment, ExperimentResult
-from repro.harness import extensions as _extensions  # registers ext_* experiments
+# Imported for its side effect: registers the ext_* experiments.
+from repro.harness import extensions as _extensions  # noqa: F401
 from repro.harness.report import format_table, render_experiment
 from repro.harness.sweep import Sweep, rows_to_csv
 

@@ -66,6 +66,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="run under cProfile and print the top-20 "
                         "functions by cumulative time to stderr "
                         "(forces --jobs 1 so the work stays in-process)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect the observability metrics registry for "
+                        "every run (lands on RunResult.metrics; see "
+                        "docs/observability.md)")
+    p.add_argument("--trace", metavar="DIR", default=None,
+                   help="write one Chrome trace-event timeline per run "
+                        "into DIR (load in Perfetto / chrome://tracing; "
+                        "traced runs bypass the result cache)")
     args = p.parse_args(argv)
 
     if args.profile:
@@ -83,7 +91,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                     cache_dir=args.cache_dir, timeout=args.timeout,
                     retry=retry, fail_fast=args.fail_fast,
                     sanitize=args.sanitize or None,
-                    max_cycles=args.max_cycles)
+                    max_cycles=args.max_cycles,
+                    metrics=args.metrics, trace_dir=args.trace)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for exp_id in ids:

@@ -64,6 +64,7 @@ from repro.harness.resilience import (RetryPolicy, RunFailure,
                                       RunTimeoutError, categorize)
 from repro.harness.runner import Mode, run
 from repro.isa.kernel import Kernel
+from repro.obs import NULL_SINK, Observer
 from repro.sim.stats import RunResult
 from repro.workloads.apps import APPS, App
 
@@ -76,7 +77,10 @@ CACHE_SCHEMA = 1
 
 #: Sources whose content participates in the code-version salt: anything
 #: that can change simulation results.  Reports/CLI/docs are excluded.
-_SALT_SOURCES = ("config.py", "core", "isa", "mem", "sched", "sim",
+#: ``obs`` is included not because observation may change results (it
+#: must not) but because metrics/trace payloads cached alongside results
+#: must be invalidated when their schema evolves.
+_SALT_SOURCES = ("config.py", "core", "isa", "mem", "obs", "sched", "sim",
                  "workloads", "harness/runner.py")
 
 
@@ -160,6 +164,14 @@ class RunSpec:
     waves: float = 6.0
     grid_blocks: int | None = None
     max_cycles: int = 2_000_000
+    #: Chrome trace-event output path (None = no timeline).  Part of the
+    #: digest, so traced and untraced runs never share a cache entry;
+    #: traced runs additionally bypass the disk cache entirely — the
+    #: trace file is a side effect a cached result could not reproduce.
+    trace: str | None = None
+    #: Collect a metrics registry and attach it to ``RunResult.metrics``.
+    #: Also part of the digest (the cached payload differs).
+    metrics: bool = False
     #: Pre-built kernel for non-registry targets (identity lives in
     #: ``kernel_fp``; this field only carries the payload to workers).
     kernel: Kernel | None = field(default=None, compare=False, repr=False)
@@ -168,7 +180,8 @@ class RunSpec:
     def create(cls, target: App | Kernel, mode: Mode, *,
                config: GPUConfig | None = None, scale: float = 1.0,
                waves: float = 6.0, grid_blocks: int | None = None,
-               max_cycles: int = 2_000_000) -> "RunSpec":
+               max_cycles: int = 2_000_000, trace: str | None = None,
+               metrics: bool = False) -> "RunSpec":
         """Build a spec from the same arguments :func:`runner.run` takes."""
         config = config if config is not None else GPUConfig()
         if isinstance(target, App):
@@ -179,6 +192,7 @@ class RunSpec:
         return cls(app=name, kernel_fp=kernel_fingerprint(kernel),
                    mode=mode, config=config, scale=scale, waves=waves,
                    grid_blocks=grid_blocks, max_cycles=max_cycles,
+                   trace=trace, metrics=metrics,
                    kernel=None if name is not None else kernel)
 
     def to_dict(self) -> dict:
@@ -193,6 +207,8 @@ class RunSpec:
             "waves": self.waves,
             "grid_blocks": self.grid_blocks,
             "max_cycles": self.max_cycles,
+            "trace": self.trace,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -208,7 +224,9 @@ class RunSpec:
                    config=_config_from_dict(d["config"]),
                    scale=d["scale"], waves=d["waves"],
                    grid_blocks=d["grid_blocks"],
-                   max_cycles=d["max_cycles"])
+                   max_cycles=d["max_cycles"],
+                   trace=d.get("trace"),
+                   metrics=d.get("metrics", False))
 
     def digest(self) -> str:
         """Content address: canonical JSON of the spec + code salt."""
@@ -227,11 +245,23 @@ class RunSpec:
         return self.kernel
 
     def execute(self, sanitize: bool = False) -> RunResult:
-        """Run the simulation this spec describes (no cache, no pool)."""
-        return run(self.target(), self.mode, config=self.config,
-                   scale=self.scale, waves=self.waves,
-                   grid_blocks=self.grid_blocks, max_cycles=self.max_cycles,
-                   sanitize=sanitize)
+        """Run the simulation this spec describes (no cache, no pool).
+
+        With ``metrics``/``trace`` set, the run is observed through an
+        :class:`~repro.obs.Observer`; the trace file is written here so
+        the side effect also happens inside pool workers.
+        """
+        obs = NULL_SINK
+        if self.metrics or self.trace is not None:
+            obs = Observer(metrics=self.metrics,
+                           trace=self.trace is not None)
+        res = run(self.target(), self.mode, config=self.config,
+                  scale=self.scale, waves=self.waves,
+                  grid_blocks=self.grid_blocks, max_cycles=self.max_cycles,
+                  sanitize=sanitize, obs=obs)
+        if self.trace is not None:
+            obs.write_trace(self.trace)
+        return res
 
 
 def _execute_timed(spec: RunSpec, attempt: int = 1,
@@ -401,6 +431,15 @@ class Engine:
     max_cycles:
         When set, overrides ``max_cycles`` on every submitted spec
         (applied before dedup, so digests reflect it).
+    metrics:
+        ``True`` turns on metrics collection for every submitted spec
+        (``RunSpec.metrics``), attaching a registry snapshot to each
+        ``RunResult.metrics``.
+    trace_dir:
+        When set, every submitted spec gets a Chrome trace written to
+        ``<trace_dir>/<app>-<mode>.json`` (``RunSpec.trace``).  Traced
+        specs bypass the disk cache — the trace file is a side effect a
+        cached result could not reproduce.
     """
 
     def __init__(self, *, jobs: int | None = None,
@@ -412,7 +451,9 @@ class Engine:
                  fail_fast: bool = False,
                  sanitize: bool | None = None,
                  faults: FaultInjector | None = None,
-                 max_cycles: int | None = None) -> None:
+                 max_cycles: int | None = None,
+                 metrics: bool = False,
+                 trace_dir: str | Path | None = None) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _default_jobs()
         if isinstance(cache, ResultCache):
             self.cache: ResultCache | None = cache
@@ -428,6 +469,8 @@ class Engine:
                          else os.environ.get("REPRO_SANITIZE") == "1")
         self.faults = faults
         self.max_cycles = max_cycles
+        self.metrics = metrics
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.stats = EngineStats()
         #: Every RunFailure recorded across this engine's batches.
         self.failures: list[RunFailure] = []
@@ -457,6 +500,10 @@ class Engine:
         progress = progress if progress is not None else self.progress
         if self.max_cycles is not None:
             specs = [replace(s, max_cycles=self.max_cycles) for s in specs]
+        if self.metrics or self.trace_dir is not None:
+            if self.trace_dir is not None:
+                self.trace_dir.mkdir(parents=True, exist_ok=True)
+            specs = [self._observed(s) for s in specs]
         order: list[str] = []
         unique: dict[str, RunSpec] = {}
         for spec in specs:
@@ -470,7 +517,14 @@ class Engine:
 
         # Sanitized runs bypass the cache: a cached result would skip
         # the invariant checks that are the whole point of the mode.
+        # Traced runs do too: the trace file is a side effect a cached
+        # result could not reproduce (metrics-only runs stay cacheable —
+        # the registry snapshot rides inside the cached RunResult).
         cache = self.cache if not self.sanitize else None
+
+        def cacheable(d: str) -> bool:
+            return cache is not None and unique[d].trace is None
+
         results: dict[str, RunResult | RunFailure] = {}
         done = 0
         total = len(unique)
@@ -486,7 +540,7 @@ class Engine:
 
         todo: list[str] = []
         for d, spec in unique.items():
-            if cache is not None:
+            if cacheable(d):
                 hit = cache.get(d)
                 if hit is not None:
                     self.stats.hits += 1
@@ -500,7 +554,7 @@ class Engine:
             results[d] = res
             self.stats.sims += 1
             self.stats.sim_time += elapsed
-            if cache is not None:
+            if cacheable(d):
                 cache.put(d, unique[d], res, elapsed)
             emit(d, res, False, elapsed)
 
@@ -521,6 +575,23 @@ class Engine:
                 self.stats.quarantined = self.cache.quarantined
             self.stats.wall_time += time.perf_counter() - t_batch
         return [results[d] for d in order]
+
+    # ------------------------------------------------------------------
+    def _observed(self, spec: RunSpec) -> RunSpec:
+        """Apply the engine-level ``metrics``/``trace_dir`` knobs.
+
+        Applied before dedup, so digests reflect the observation state;
+        per-spec settings win over the engine-level defaults.
+        """
+        changes: dict = {}
+        if self.metrics and not spec.metrics:
+            changes["metrics"] = True
+        if self.trace_dir is not None and spec.trace is None:
+            slug = "".join(c if c.isalnum() or c in "._-" else "_"
+                           for c in f"{spec.app or spec.kernel_fp}"
+                                    f"-{spec.mode.label}")
+            changes["trace"] = str(self.trace_dir / f"{slug}.json")
+        return replace(spec, **changes) if changes else spec
 
     # ------------------------------------------------------------------
     def _run_inprocess(self, d: str, spec: RunSpec,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.config import GPUConfig
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
 from repro.harness.engine import Engine, RunSpec
-from repro.harness.experiments import (EXPERIMENTS, ExperimentResult,
+from repro.harness.experiments import (ExperimentResult,
                                        _cfg, _engine, _experiment)
 from repro.harness.runner import improvement, shared, unshared
 from repro.isa.builder import KernelBuilder
@@ -54,7 +54,7 @@ def tail_heavy_kernel(scale: float = 1.0):
     return b.build()
 
 
-from repro.workloads.apps import App as _App
+from repro.workloads.apps import App as _App  # noqa: E402
 
 #: Registered as a plain App so the runner treats it like any workload.
 TAIL_APP = _App("tailheavy", "extension", 1, "registers", tail_heavy_kernel)
@@ -192,7 +192,6 @@ def ext_variance_sensitivity(config: GPUConfig | None = None,
     gains grow with imbalance.  This isolates the work_variance modelling
     decision documented in DESIGN.md §4.
     """
-    from dataclasses import replace as _replace
     cfg = _cfg(config)
     res = ExperimentResult(
         "ext_variance_sensitivity",

@@ -36,7 +36,11 @@ def bar_chart(rows, label_key: str, value_key: str, *,
     """ASCII horizontal bar chart for one numeric column.
 
     Negative values extend left of the axis, positive right — matching
-    the look of the paper's improvement figures.
+    the look of the paper's improvement figures.  Every nonzero value
+    renders at least one ``#`` (a small positive value used to round to
+    an empty bar while any negative one was forced to a glyph), and
+    bars are clamped to the chart width so the forced glyph can never
+    push a row past the value column.
     """
     rows = [r for r in rows if isinstance(r.get(value_key), (int, float))]
     if not rows:
@@ -46,14 +50,23 @@ def bar_chart(rows, label_key: str, value_key: str, *,
     span = (hi - lo) or 1.0
     lw = max(len(str(r[label_key])) for r in rows)
     zero = round((0.0 - lo) / span * width)
+    # Reserve a column on each side that has values, so the minimum
+    # one-glyph bar fits even when the axis rounds to the chart edge.
+    if any(v < 0 for v in vals):
+        zero = max(zero, 1)
+    if any(v > 0 for v in vals):
+        zero = min(zero, width - 1)
     out = [f"{'':{lw}s}  {value_key}"]
     for r, v in zip(rows, vals):
-        pos = round((v - lo) / span * width)
-        if v >= 0:
-            bar = " " * zero + "|" + "#" * max(0, pos - zero)
-        else:
-            n = max(1, zero - pos)
+        pos = min(width, max(0, round((v - lo) / span * width)))
+        if v > 0:
+            n = min(max(1, pos - zero), width - zero)
+            bar = " " * zero + "|" + "#" * n
+        elif v < 0:
+            n = min(max(1, zero - pos), zero)
             bar = " " * (zero - n) + "#" * n + "|"
+        else:
+            bar = " " * zero + "|"
         out.append(f"{str(r[label_key]):{lw}s}  {bar:{width + 2}s} "
                    f"{v:8.2f}")
     return "\n".join(out)

@@ -21,6 +21,7 @@ from repro.core.occupancy import occupancy
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
 from repro.core.unroll import reorder_registers
 from repro.isa.kernel import Kernel
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.sim.gpu import GPU
 from repro.sim.stats import RunResult
 from repro.workloads.apps import App
@@ -83,7 +84,8 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
         grid_blocks: int | None = None,
         max_cycles: int = 2_000_000,
         sanitize: bool = False,
-        core: str = "fast") -> RunResult:
+        core: str = "fast",
+        obs: ObsSink = NULL_SINK) -> RunResult:
     """Simulate ``app`` under ``mode`` and return the result.
 
     ``sanitize=True`` enables the runtime invariant sanitizer (see
@@ -94,6 +96,11 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
 
     ``core`` selects the simulator core (``"fast"`` or ``"reference"``,
     see :class:`~repro.sim.gpu.GPU`); both produce identical results.
+
+    ``obs`` attaches an observability sink (see docs/observability.md):
+    pass an :class:`~repro.obs.Observer` to collect metrics and/or a
+    Chrome-trace timeline; counters land on ``RunResult.metrics``.
+    Simulated behaviour is identical with or without observation.
     """
     if config is None:
         config = GPUConfig()
@@ -111,7 +118,7 @@ def run(app: App | Kernel, mode: Mode, *, config: GPUConfig | None = None,
                             SharingSpec(mode.sharing, mode.t))
     gpu = GPU(kernel, config, scheduler=mode.scheduler, plan=plan,
               dyn=mode.dyn, early_release=mode.early_release,
-              mode=mode.label, sanitize=sanitize, core=core)
+              mode=mode.label, sanitize=sanitize, core=core, obs=obs)
     return gpu.run(max_cycles=max_cycles)
 
 

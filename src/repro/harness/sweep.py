@@ -42,8 +42,12 @@ CSV_COLUMNS = (
     "instructions", "stall_cycles", "idle_cycles", "max_resident_blocks",
     "blocks_baseline", "blocks_total", "l1_miss_rate", "l2_miss_rate",
     "dram_requests", "lock_acquires", "lock_waits", "dyn_refusals",
-    "early_releases", "error",
+    "early_releases", "digest", "attempts", "error",
 )
+
+#: ``error`` column cap; longer messages end with ``...`` so consumers
+#: can tell a truncated message from one that happens to fit exactly.
+_ERROR_LIMIT = 200
 
 
 def failure_row(f: RunFailure, *, clusters: int, scale: float,
@@ -52,8 +56,15 @@ def failure_row(f: RunFailure, *, clusters: int, scale: float,
 
     The ``status`` column carries the failure category (successful rows
     say ``ok``) and ``error`` the exception message, so a sweep CSV
-    with failed cells still loads into any analysis pipeline.
+    with failed cells still loads into any analysis pipeline.  The
+    ``digest`` (RunSpec content hash) and ``attempts`` columns identify
+    the exact failed configuration for a re-run without needing the
+    original sweep script; messages longer than the column cap are
+    truncated with a visible ``...`` marker.
     """
+    err = f"{f.exception_type}: {f.message}"
+    if len(err) > _ERROR_LIMIT:
+        err = err[:_ERROR_LIMIT - 3] + "..."
     return {
         "app": f.app,
         "mode": f.mode,
@@ -61,17 +72,27 @@ def failure_row(f: RunFailure, *, clusters: int, scale: float,
         "scale": scale,
         "waves": waves,
         "status": f.category,
-        "error": f"{f.exception_type}: {f.message}"[:200],
+        "digest": f.spec_digest,
+        "attempts": f.attempts,
+        "error": err,
     }
 
 
 def result_row(res: RunResult, *, clusters: int, scale: float,
-               waves: float) -> dict:
-    """Flatten a :class:`RunResult` into one CSV row."""
+               waves: float, digest: str = "") -> dict:
+    """Flatten a :class:`RunResult` into one CSV row.
+
+    ``digest`` is the RunSpec content hash when the caller has it (the
+    sweep does) — with it in the CSV any row, ok or failed, identifies
+    its exact configuration.  ``attempts`` stays blank for ok rows: the
+    engine does not report retry counts on success.
+    """
     agg = lambda f: sum(getattr(s, f) for s in res.sm_stats)  # noqa: E731
     return {
         "status": "ok",
         "error": "",
+        "digest": digest,
+        "attempts": "",
         "app": res.kernel,
         "mode": res.mode,
         "clusters": clusters,
@@ -203,8 +224,8 @@ class Sweep:
                   waves=self.waves)
         self.rows = [failure_row(res, **kw)
                      if isinstance(res, RunFailure) else
-                     result_row(res, **kw)
-                     for res in results]
+                     result_row(res, digest=spec.digest(), **kw)
+                     for spec, res in zip(specs, results)]
         self.failures = [r for r in results if isinstance(r, RunFailure)]
         return self.rows
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
-from repro.isa.opcodes import (MEM_OPS, GLOBAL_OPS, SHARED_OPS, MemSpace,
+from repro.isa.opcodes import (MEM_OPS, GLOBAL_OPS, MemSpace,
                                Op, Pattern, op_group)
 
 __all__ = ["MemDesc", "Instr"]

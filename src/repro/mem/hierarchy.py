@@ -17,6 +17,7 @@ from repro.config import GPUConfig
 from repro.events import EventQueue
 from repro.mem.cache import Cache
 from repro.mem.dram import DramController
+from repro.obs.sink import NULL_SINK, ObsSink
 
 __all__ = ["MemoryHierarchy"]
 
@@ -44,10 +45,12 @@ class MemoryHierarchy:
     """Per-SM L1s, partitioned shared L2, per-partition DRAM."""
 
     def __init__(self, config: GPUConfig, events: EventQueue,
-                 num_sms: int) -> None:
+                 num_sms: int, obs: ObsSink = NULL_SINK) -> None:
         self.cfg = config
         self.lat = config.latency
         self.events = events
+        self.obs = obs
+        self._obs_on = obs.enabled
         self.l1 = [
             Cache(size=config.l1_size, assoc=config.l1_assoc,
                   line_size=config.line_size, mshrs=config.l1_mshrs,
@@ -92,7 +95,12 @@ class MemoryHierarchy:
                 new += 1
         if new > l1.mshr_free:
             l1.stats.mshr_rejects += 1
+            if self._obs_on:
+                self.obs.mshr_reject(sm_id, now)
             return False
+        if self._obs_on:
+            self.obs.mshr_sample(sm_id, len(mshr) + new, l1.n_mshrs, now)
+            on_done = self.obs.mem_request(sm_id, len(uniq), now, on_done)
         token = _LoadToken(len(uniq), on_done)
         for ln in uniq:
             res = l1.lookup(ln, token)

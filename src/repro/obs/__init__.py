@@ -1,0 +1,24 @@
+"""Observability layer: metrics registry + Chrome-trace timeline.
+
+See docs/observability.md for the user-facing walkthrough.  The
+simulator publishes through :class:`~repro.obs.sink.ObsSink` — a null
+object by default (:data:`~repro.obs.sink.NULL_SINK`), so nothing here
+costs anything unless a run asks for ``--metrics`` / ``--trace``.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               metric_key)
+from repro.obs.sink import NULL_SINK, Observer, ObsSink
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "NULL_SINK",
+    "Observer",
+    "ObsSink",
+    "Tracer",
+]

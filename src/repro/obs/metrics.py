@@ -1,0 +1,178 @@
+"""Lightweight named-metrics registry (counters, gauges, histograms).
+
+The registry is the structured half of the observability layer (the
+timeline half lives in :mod:`repro.obs.tracing`): simulator components
+publish *named, labelled* metrics into it — lock hold/wait durations,
+per-scheduler issue-slot utilisation, MSHR occupancy, Dyn-throttle
+refusals, cache-probe outcomes — and the engine attaches the collected
+snapshot to the :class:`~repro.sim.stats.RunResult`.
+
+Design constraints (see docs/observability.md):
+
+* **Zero cost when disabled** — nothing in the simulator holds a
+  registry unless observability was requested; the hot paths guard on
+  a single boolean before touching any metric object.
+* **Cheap when enabled** — metric handles are plain ``__slots__``
+  objects resolved once (``registry.counter(...)`` caches on the key),
+  so the per-event cost is an attribute increment.
+* **JSON-stable** — :meth:`MetricsRegistry.to_dict` is a flat,
+  deterministic (sorted-key) mapping that round-trips through the
+  engine's result cache unchanged.
+
+Keys follow the Prometheus-style ``name{label=value,...}`` convention
+with labels sorted by name, e.g. ``lock_hold_cycles{kind=reg}``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "metric_key"]
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical ``name{k=v,...}`` key (labels sorted; no-label = name)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative to stay a counter)."""
+        self.value += n
+
+    def to_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (a level, not a rate)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def to_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary: count/sum/min/max plus power-of-two buckets.
+
+    ``record(v)`` files ``v`` into bucket ``ceil(log2(v+1))`` — bucket
+    *i* holds values in ``[2**(i-1), 2**i)`` with bucket 0 = exactly 0 —
+    which is plenty of resolution for cycle durations while keeping the
+    serialized form tiny and deterministic.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        #: bucket index -> observation count (sparse).
+        self.buckets: dict[int, int] = {}
+
+    def record(self, v: float) -> None:
+        """File one observation."""
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        b = 0
+        n = int(v)
+        while n > 0:
+            b += 1
+            n >>= 1
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_value(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+            "buckets": {str(k): self.buckets[k]
+                        for k in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with label support.
+
+    ``counter``/``gauge``/``histogram`` return the live metric object
+    for a (name, labels) pair, creating it on first use — callers
+    resolve once and hold the handle::
+
+        reg = MetricsRegistry()
+        waits = reg.histogram("lock_wait_cycles", kind="reg")
+        waits.record(17)
+        reg.to_dict()["histograms"]["lock_wait_cycles{kind=reg}"]
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, cls, name: str, labels: dict):
+        key = metric_key(name, labels)
+        m = self._metrics.get(key)
+        if m is None:
+            m = cls()
+            self._metrics[key] = m
+        elif not isinstance(m, cls):
+            raise TypeError(f"metric {key!r} already registered as "
+                            f"{m.kind}, not {cls.kind}")
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for (name, labels), created on first use."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for (name, labels), created on first use."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram for (name, labels), created on first use."""
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic JSON-serializable snapshot, grouped by kind."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}}
+        for key in sorted(self._metrics):
+            m = self._metrics[key]
+            out[m.kind + "s"][key] = m.to_value()
+        return out

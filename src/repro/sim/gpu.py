@@ -29,6 +29,7 @@ from repro.events import EventQueue
 from repro.isa.kernel import Kernel
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.request import AddressMap
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.sim.dispatcher import Dispatcher
 from repro.sim.sanitizer import Sanitizer
 from repro.sim.sm import SharingRuntime, SMCore
@@ -66,7 +67,8 @@ class GPU:
                  early_release: bool = False,
                  mode: str = "",
                  sanitize: bool = False,
-                 core: str = "fast") -> None:
+                 core: str = "fast",
+                 obs: ObsSink = NULL_SINK) -> None:
         if core not in ("fast", "reference"):
             raise ValueError(f"unknown core {core!r}; "
                              f"choose 'fast' or 'reference'")
@@ -78,8 +80,11 @@ class GPU:
         self.mode = mode or scheduler
         self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize \
             else None
+        #: Observability sink (metrics/timeline); null object when off.
+        self.obs = obs
         self.events = EventQueue()
-        self.hierarchy = MemoryHierarchy(config, self.events, config.num_sms)
+        self.hierarchy = MemoryHierarchy(config, self.events,
+                                         config.num_sms, obs=obs)
         self.amap = AddressMap(seed=kernel.seed)
 
         sharing_rt: Optional[SharingRuntime] = None
@@ -109,7 +114,7 @@ class GPU:
         self.sms = [
             sm_cls(i, kernel, config, self.events, self.hierarchy, self.amap,
                    scheduler, sharing=sharing_rt, dyn=self.dyn,
-                   liveness=liveness, sanitizer=self.sanitizer)
+                   liveness=liveness, sanitizer=self.sanitizer, obs=obs)
             for i in range(config.num_sms)
         ]
         self.plan = plan
@@ -143,6 +148,8 @@ class GPU:
     def _epilogue(self, cycle: int) -> RunResult:
         if self.sanitizer is not None:
             self.sanitizer.final(self, cycle)
+        if self.obs.enabled:
+            self.obs.finalize(self, cycle)
         stats = [sm.stats for sm in self.sms]
         return RunResult(
             kernel=self.kernel.name,
@@ -154,6 +161,7 @@ class GPU:
             blocks_baseline=(self.plan.baseline if self.plan is not None
                              else self.dispatcher.blocks_per_sm),
             blocks_total=self.dispatcher.blocks_per_sm,
+            metrics=self.obs.metrics_dict(),
         )
 
     def _limit_exceeded(self, max_cycles: int) -> SimulationLimitExceeded:

@@ -48,6 +48,8 @@ class ReferenceSMCore(SMCore):
             warp.sched.ready.add(warp)
         warp.state = state
         warp.wake_token += 1
+        if self._obs_on:
+            self.obs.warp_state(self.sm_id, warp, state, self.now)
 
     def _timed_wake(self, warp: WarpContext, at: int,
                     expected: WarpState) -> None:
@@ -124,6 +126,8 @@ class ReferenceSMCore(SMCore):
             if (not self.dyn.allow(self.sm_id)
                     and not self._dyn_critical(warp)):
                 stats.dyn_refusals += 1
+                if self._obs_on:
+                    self.obs.dyn_refusal(self.sm_id, warp, cycle)
                 self._set_state(warp, WarpState.BLOCK_DYN)
                 self._dyn_blocked.append(warp)
                 self._timed_wake(warp, cycle + _DYN_COOLDOWN,
@@ -217,6 +221,8 @@ class ReferenceSMCore(SMCore):
         # --- retire bookkeeping ---
         warp.issued += 1
         stats.instructions += 1
+        if self._obs_on:
+            self.obs.issued(self.sm_id, sched.sched_id, warp, cycle)
         cls = warp.owf_class()
         if cls == 0:
             stats.issued_owner += 1

@@ -26,6 +26,7 @@ from repro.isa.kernel import Kernel
 from repro.isa.opcodes import Op, op_group
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.request import AddressMap, coalesce_lines
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.sched.base import WarpScheduler, make_scheduler
 from repro.sim.block import BlockContext, SharePair
 from repro.sim.stats import SMStats
@@ -104,7 +105,8 @@ class SMCore:
                  sharing: Optional[SharingRuntime] = None,
                  dyn: Optional[DynWarpController] = None,
                  liveness: Optional[SharedLiveness] = None,
-                 sanitizer: Optional["Sanitizer"] = None) -> None:
+                 sanitizer: Optional["Sanitizer"] = None,
+                 obs: ObsSink = NULL_SINK) -> None:
         self.sm_id = sm_id
         self.kernel = kernel
         self.cfg = config
@@ -120,6 +122,11 @@ class SMCore:
         self.liveness = liveness
         #: Runtime invariant checker (None = sanitizer off).
         self.sanitizer = sanitizer
+        #: Observability sink (metrics/timeline); the null object by
+        #: default.  ``_obs_on`` caches ``obs.enabled`` so the hot paths
+        #: pay one attribute read + branch, nothing more, when off.
+        self.obs = obs
+        self._obs_on = obs.enabled
         self.schedulers: list[WarpScheduler] = [
             make_scheduler(scheduler, i,
                            fetch_group_size=config.fetch_group_size)
@@ -153,6 +160,8 @@ class SMCore:
             pair.reg_group.on_release = self._on_lock_release
         if pair.spad_group is not None:
             pair.spad_group.on_release = self._on_lock_release
+        if self._obs_on:
+            self.obs.wire_locks(self, pair)
 
     def launch_block(self, block: BlockContext, cycle: int) -> None:
         """Create and enqueue the block's warps."""
@@ -163,6 +172,8 @@ class SMCore:
             self.warps.append(w)
             w.sched = self.schedulers[w.dynamic_id % len(self.schedulers)]
             w.sched.on_ready(w)
+            if self._obs_on:
+                self.obs.warp_started(self.sm_id, w, cycle)
         self._cat_n[0] += block.n_warps
         self.resident_blocks += 1
         self.stats.blocks_launched += 1
@@ -199,6 +210,8 @@ class SMCore:
         c[_CAT[state]] += 1
         warp.state = state
         warp.wake_token += 1
+        if self._obs_on:
+            self.obs.warp_state(self.sm_id, warp, state, self.now)
 
     def _update_readiness(self, warp: WarpContext, cycle: int) -> None:
         """Re-derive a warp's scoreboard wait state for its next instr.
@@ -428,6 +441,8 @@ class SMCore:
             if (not self.dyn.allow(self.sm_id)
                     and not self._dyn_critical(warp)):
                 stats.dyn_refusals += 1
+                if self._obs_on:
+                    self.obs.dyn_refusal(self.sm_id, warp, cycle)
                 self._set_state(warp, _BLOCK_DYN)
                 self._dyn_blocked.append(warp)
                 self.events.push_wake(cycle + _DYN_COOLDOWN, self, warp)
@@ -549,6 +564,8 @@ class SMCore:
         # --- retire bookkeeping ---
         warp.issued += 1
         stats.instructions += 1
+        if self._obs_on:
+            self.obs.issued(self.sm_id, sched.sched_id, warp, cycle)
         cls = warp.owf_class()
         if cls == 0:
             stats.issued_owner += 1

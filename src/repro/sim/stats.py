@@ -82,6 +82,12 @@ class RunResult:
     #: Blocks/SM the dispatcher planned: (baseline D, total with sharing).
     blocks_baseline: int = 0
     blocks_total: int = 0
+    #: Observability snapshot (``MetricsRegistry.to_dict()``) when the
+    #: run was made with ``--metrics``; None otherwise.  Deliberately
+    #: absent from :meth:`to_dict` when None so results of unobserved
+    #: runs — including the pinned golden_core.json cells — are
+    #: byte-identical to those produced before this field existed.
+    metrics: dict | None = None
 
     #: Success marker, mirroring ``RunFailure.ok = False`` — lets batch
     #: consumers branch on ``r.ok`` without isinstance checks.
@@ -111,7 +117,7 @@ class RunResult:
         """JSON-serializable form; :meth:`from_dict` restores it exactly
         (ints stay ints, floats stay floats — the engine's disk cache
         relies on the round trip being bit-exact)."""
-        return {
+        d = {
             "kernel": self.kernel,
             "mode": self.mode,
             "cycles": self.cycles,
@@ -121,6 +127,9 @@ class RunResult:
             "blocks_baseline": self.blocks_baseline,
             "blocks_total": self.blocks_total,
         }
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResult":
@@ -130,11 +139,17 @@ class RunResult:
             instructions=d["instructions"],
             sm_stats=[SMStats.from_dict(s) for s in d["sm_stats"]],
             mem=dict(d["mem"]), blocks_baseline=d["blocks_baseline"],
-            blocks_total=d["blocks_total"])
+            blocks_total=d["blocks_total"], metrics=d.get("metrics"))
 
-    def summary(self) -> dict[str, float]:
-        """Flat dict of the headline numbers (for reports/tests)."""
-        out: dict[str, float] = {
+    def summary(self) -> dict[str, int | float]:
+        """Flat dict of the headline numbers (for reports/tests).
+
+        Values keep their native types: integer ``mem`` counters (e.g.
+        ``dram_requests``) stay ints, matching :meth:`to_dict` and the
+        sweep CSV — they were previously coerced to float here, making
+        the three disagree.
+        """
+        out: dict[str, int | float] = {
             "ipc": self.ipc,
             "cycles": self.cycles,
             "instructions": self.instructions,
@@ -142,5 +157,5 @@ class RunResult:
             "idle_cycles": self.idle_cycles,
             "max_resident_blocks": self.max_resident_blocks,
         }
-        out.update({k: float(v) for k, v in self.mem.items()})
+        out.update(self.mem)
         return out

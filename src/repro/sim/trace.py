@@ -11,7 +11,6 @@ a shared pool and when the handoff wakes it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from repro.sim.gpu import GPU
 from repro.sim.sm import SMCore

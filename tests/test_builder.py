@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.builder import KernelBuilder
-from repro.isa.opcodes import MemSpace, Op, Pattern
+from repro.isa.opcodes import MemSpace, Op
 
 
 def bld(**kw):

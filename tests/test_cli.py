@@ -53,6 +53,20 @@ class TestReproCli:
         with pytest.raises(SystemExit):
             repro_main(["analyze", "nosuchapp"])
 
+    def test_run_trace_and_metrics(self, tmp_path, capsys):
+        import json
+        out_file = tmp_path / "mum.json"
+        assert repro_main(["run", "MUM", "--mode", "shared-reg",
+                           "--clusters", "1", "--scale", "0.2",
+                           "--waves", "1", "--no-cache",
+                           "--trace", str(out_file), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "warp-state cycles" in out  # Fig. 10-style breakdown
+        assert f"trace written to {out_file}" in out
+        doc = json.loads(out_file.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"warp_state", "lock", "mem"} <= cats
+
 
 class TestHarnessCli:
     def test_single_experiment(self, capsys):
@@ -83,6 +97,19 @@ class TestHarnessCli:
         capsys.readouterr()
         assert harness_main(argv) == 0
         assert "| 0 sims, 16 cache hits," in capsys.readouterr().out
+
+    def test_trace_dir_writes_per_run_traces(self, tmp_path, capsys):
+        import json
+        assert harness_main(["fig8c", "--clusters", "1", "--scale", "0.15",
+                             "--waves", "1", "--jobs", "1", "--no-cache",
+                             "--metrics", "--trace",
+                             str(tmp_path / "traces")]) == 0
+        traces = sorted((tmp_path / "traces").glob("*.json"))
+        assert traces  # one Chrome trace per simulated configuration
+        doc = json.loads(traces[0].read_text())
+        assert any(e.get("cat") == "warp_state"
+                   for e in doc["traceEvents"])
+        capsys.readouterr()
 
 
 class TestTraceCli:

@@ -1,6 +1,5 @@
 """Coalescer and address map."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

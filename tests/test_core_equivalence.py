@@ -19,7 +19,7 @@ import json
 import pytest
 
 from repro.harness.golden import (CORE_APPS, check_core_goldens,
-                                  collect_core, core_config, core_key,
+                                  core_config, core_key,
                                   core_matrix, golden_core_path)
 from repro.harness.runner import run
 from repro.workloads.apps import APPS

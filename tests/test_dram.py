@@ -1,6 +1,5 @@
 """FR-FCFS DRAM controller timing and scheduling."""
 
-import pytest
 
 from repro.config import GPUConfig
 from repro.events import EventQueue

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import GPUConfig
 from repro.harness.engine import Engine, ResultCache, RunSpec
-from repro.harness.faults import (ALWAYS, CRASH_EXIT_CODE, FAULT_KINDS,
+from repro.harness.faults import (CRASH_EXIT_CODE, FAULT_KINDS,
                                   FaultInjector, FaultSpec, InjectedCrash,
                                   InjectedError, corrupt_cache_entry)
 from repro.harness.resilience import RetryPolicy, RunFailure

@@ -14,7 +14,7 @@ from repro.core.occupancy import occupancy
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
 from repro.core.unroll import reorder_registers
 from repro.sim.gpu import GPU
-from repro.workloads.generator import GeneratorParams, generate_kernel
+from repro.workloads.generator import generate_kernel
 
 CFG = GPUConfig().scaled(num_clusters=2)
 SEEDS = list(range(24))

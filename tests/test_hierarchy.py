@@ -1,6 +1,5 @@
 """L1 → L2 → DRAM plumbing."""
 
-import pytest
 
 from repro.config import GPUConfig
 from repro.events import EventQueue

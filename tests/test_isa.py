@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa.instructions import Instr, MemDesc
 from repro.isa.opcodes import (ALU_OPS, GLOBAL_OPS, MEM_OPS, SHARED_OPS,
-                               MemSpace, Op, Pattern, op_group)
+                               MemSpace, Op, op_group)
 
 
 def g(footprint=4096, **kw):

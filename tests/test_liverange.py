@@ -6,8 +6,7 @@ from repro.config import GPUConfig
 from repro.core.liverange import SharedLiveness
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing
 from repro.harness.extensions import tail_heavy_kernel
-from repro.harness.runner import run, shared, unshared
-from repro.isa.builder import KernelBuilder
+from repro.harness.runner import run, shared
 from repro.isa.instructions import Instr
 from repro.isa.kernel import Kernel, Segment
 from repro.isa.opcodes import Op

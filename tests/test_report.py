@@ -1,0 +1,102 @@
+"""Report rendering: table edge cases and bar-chart geometry.
+
+Regression coverage for the bar_chart fix: every nonzero value renders
+at least one glyph (small positives used to round to an empty bar while
+negatives were forced to one), zero renders a bare axis, and the
+forced glyph is clamped so no bar overflows the chart width.
+"""
+
+from repro.harness.report import bar_chart, format_table
+
+WIDTH = 44  # bar_chart default
+
+
+def bars(rows, **kw):
+    """Chart body lines (header stripped), one per row."""
+    return bar_chart(rows, "app", "v", **kw).splitlines()[1:]
+
+
+class TestFormatTable:
+    def test_empty_rows_keeps_header(self):
+        out = format_table(["alpha", "b"], [])
+        header, rule = out.splitlines()
+        assert header.split() == ["alpha", "b"]
+        assert rule == "-----  -"
+
+    def test_empty_rows_header_sets_width(self):
+        # no max() over an empty cell sequence: widths fall back to the
+        # column names themselves
+        out = format_table(["a_very_long_column"], [])
+        assert len(out.splitlines()[1]) == len("a_very_long_column")
+
+    def test_none_renders_dash(self):
+        out = format_table(["a"], [{"a": None}])
+        assert out.splitlines()[2].strip() == "-"
+
+
+class TestBarChartGeometry:
+    def test_small_positive_gets_a_glyph(self):
+        # 0.01 vs 100: the small bar used to round to zero glyphs
+        rows = [{"app": "t", "v": 0.01}, {"app": "b", "v": 100.0}]
+        tiny, big = bars(rows)
+        assert tiny.count("#") >= 1
+        assert big.count("#") > tiny.count("#")
+
+    def test_small_negative_gets_a_glyph(self):
+        rows = [{"app": "t", "v": -0.01}, {"app": "b", "v": -100.0}]
+        tiny, big = bars(rows)
+        assert tiny.count("#") >= 1
+        assert big.count("#") > tiny.count("#")
+
+    def test_zero_renders_bare_axis(self):
+        rows = [{"app": "z", "v": 0.0}, {"app": "p", "v": 5.0}]
+        zero, pos = bars(rows)
+        assert zero.count("#") == 0 and "|" in zero
+        assert pos.count("#") >= 1
+
+    def test_mixed_signs_share_one_axis(self):
+        rows = [{"app": "up", "v": 10.0}, {"app": "dn", "v": -10.0},
+                {"app": "z", "v": 0.0}]
+        up, dn, z = bars(rows)
+        axis = up.index("|")
+        assert dn.index("|") == axis and z.index("|") == axis
+        assert up.index("#") > axis      # positives extend right
+        assert dn.index("#") < axis      # negatives extend left
+
+    def test_no_bar_overflows_width(self):
+        # extreme skew: axis rounds to the chart edge, yet the forced
+        # glyph must stay inside the bar field (value column intact)
+        for rows in (
+            [{"app": "p", "v": 1e-9}, {"app": "n", "v": -1e9}],
+            [{"app": "p", "v": 1e9}, {"app": "n", "v": -1e-9}],
+            [{"app": "a", "v": 0.01}, {"app": "b", "v": 100.0},
+             {"app": "c", "v": -0.01}, {"app": "d", "v": -50.0}],
+        ):
+            for line in bars(rows):
+                # label(1) + 2 spaces + bar field (WIDTH+2) + space + value
+                head, value = line.rsplit(None, 1)
+                float(value)  # value column survives as a parsable number
+                assert len(head.rstrip()) <= 1 + 2 + WIDTH + 2
+
+    def test_every_nonzero_row_has_a_glyph(self):
+        rows = [{"app": c, "v": v} for c, v in
+                zip("abcdefg", (-300.0, -1.0, -0.001, 0.0, 0.001, 1.0,
+                                300.0))]
+        for line, r in zip(bars(rows), rows):
+            if r["v"] == 0:
+                assert line.count("#") == 0
+            else:
+                assert line.count("#") >= 1
+
+    def test_all_equal_values(self):
+        rows = [{"app": "a", "v": 3.0}, {"app": "b", "v": 3.0}]
+        a, b = bars(rows)
+        assert a.count("#") == b.count("#") >= 1
+
+    def test_int_values_accepted(self):
+        (line,) = bars([{"app": "a", "v": 7}])
+        assert line.count("#") >= 1 and line.rstrip().endswith("7.00")
+
+    def test_non_numeric_rows_skipped(self):
+        assert bar_chart([{"app": "x", "v": "n/a"}], "app", "v") == \
+            "(no numeric data)"

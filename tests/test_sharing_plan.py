@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import GPUConfig
-from repro.core.sharing import (SharedResource, SharingPlan, SharingSpec,
+from repro.core.sharing import (SharedResource, SharingSpec,
                                 eq4_max_blocks, plan_sharing)
 from repro.isa.builder import KernelBuilder
 from repro.workloads.apps import APPS

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -68,8 +67,31 @@ class TestRunResult:
         s = self.mk().summary()
         assert s["ipc"] == 2.5
         assert s["l1_miss_rate"] == 0.5
-        assert s["dram_requests"] == 42.0
+        assert s["dram_requests"] == 42
         assert s["max_resident_blocks"] == 6
+
+    def test_summary_preserves_mem_counter_types(self):
+        # regression: integer mem counters were coerced to float,
+        # disagreeing with to_dict() and the sweep CSV
+        s = self.mk().summary()
+        assert type(s["dram_requests"]) is int
+        assert type(s["l1_miss_rate"]) is float
+
+    def test_metrics_default_absent_from_dict(self):
+        # golden_core.json pins unobserved results byte-for-byte: the
+        # metrics field must not appear unless a run was observed
+        d = self.mk().to_dict()
+        assert "metrics" not in d
+        r = RunResult.from_dict(d)
+        assert r.metrics is None
+
+    def test_metrics_round_trip_when_present(self):
+        r = self.mk()
+        r.metrics = {"counters": {"lock_acquires{kind=reg}": 3},
+                     "gauges": {}, "histograms": {}}
+        back = RunResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert back.metrics == r.metrics
+        assert back == r
 
 
 counters = st.integers(min_value=0, max_value=10**9)

@@ -5,7 +5,7 @@ import pytest
 from repro.config import GPUConfig
 from repro.core.sharing import SharedResource
 from repro.harness.runner import shared, unshared
-from repro.harness.sweep import CSV_COLUMNS, Sweep, result_row, rows_to_csv
+from repro.harness.sweep import CSV_COLUMNS, Sweep, rows_to_csv
 
 FAST = dict(config=GPUConfig().scaled(num_clusters=1), scale=0.2, waves=1.0)
 
@@ -45,7 +45,7 @@ class TestSweep:
         lines = s.to_csv().strip().splitlines()
         assert lines[0] == ",".join(CSV_COLUMNS)
         assert len(lines) == 3
-        assert all(len(l.split(",")) == len(CSV_COLUMNS) for l in lines)
+        assert all(len(ln.split(",")) == len(CSV_COLUMNS) for ln in lines)
 
     def test_best_mode_per_app(self):
         s = small_sweep()
@@ -91,6 +91,91 @@ class TestRowsToCsv:
         (row,) = list(csv.DictReader(io.StringIO(text)))
         assert row["mode"] == "Shared,OWF"
         assert row["clusters"] == ""
+
+
+class TestFailureRow:
+    def mk_failure(self, message="boom"):
+        from repro.harness.resilience import RunFailure
+        return RunFailure(category="crash", exception_type="RuntimeError",
+                          message=message, spec_digest="cafe" * 16,
+                          app="gaussian", mode="Unshared-LRR", attempts=3)
+
+    def test_identifies_failed_cell(self):
+        from repro.harness.sweep import failure_row
+        row = failure_row(self.mk_failure(), clusters=1, scale=0.2,
+                          waves=1.0)
+        assert row["status"] == "crash"
+        assert row["digest"] == "cafe" * 16  # re-runnable from CSV alone
+        assert row["attempts"] == 3
+        assert row["error"] == "RuntimeError: boom"
+
+    def test_long_error_truncated_with_marker(self):
+        from repro.harness.sweep import _ERROR_LIMIT, failure_row
+        row = failure_row(self.mk_failure("x" * 500), clusters=1,
+                          scale=0.2, waves=1.0)
+        assert len(row["error"]) == _ERROR_LIMIT
+        assert row["error"].endswith("...")  # truncation is visible
+
+    def test_short_error_not_marked(self):
+        from repro.harness.sweep import failure_row
+        row = failure_row(self.mk_failure(), clusters=1, scale=0.2,
+                          waves=1.0)
+        assert not row["error"].endswith("...")
+
+    def test_digest_and_attempts_in_csv_columns(self):
+        assert "digest" in CSV_COLUMNS and "attempts" in CSV_COLUMNS
+
+
+class TestCsvRoundTrip:
+    """Sweep.to_csv() must parse back losslessly with csv.DictReader."""
+
+    def run_with_failure(self):
+        from repro.harness.engine import RunSpec
+        from repro.harness.faults import FaultInjector
+        from repro.workloads.apps import APPS
+        bad = RunSpec.create(APPS["gaussian"], unshared("gto"),
+                             config=FAST["config"], scale=FAST["scale"],
+                             waves=FAST["waves"])
+        s = Sweep(**FAST,
+                  faults=FaultInjector().add(bad.digest(), "error"))
+        s.add_apps(["gaussian"])
+        s.add_modes([unshared("lrr"), unshared("gto")])
+        s.run()
+        return s
+
+    def test_ok_and_failure_rows_parse_back(self):
+        import csv
+        import io
+        s = self.run_with_failure()
+        parsed = list(csv.DictReader(io.StringIO(s.to_csv())))
+        assert len(parsed) == 2
+        ok = next(r for r in parsed if r["status"] == "ok")
+        bad = next(r for r in parsed if r["status"] != "ok")
+        # ok row: numeric cells survive the text round trip
+        assert ok["app"] == "gaussian" and ok["error"] == ""
+        assert int(ok["cycles"]) > 0
+        assert float(ok["ipc"]) == pytest.approx(
+            int(ok["instructions"]) / int(ok["cycles"]), abs=1e-4)
+        # ok rows carry their spec digest too (re-runnable), but no
+        # attempts count (the engine only reports it for failures)
+        assert len(ok["digest"]) == 64
+        assert set(ok["digest"]) <= set("0123456789abcdef")
+        assert ok["attempts"] == ""
+        # failure row: annotated, re-runnable
+        (f,) = s.failures
+        assert bad["status"] == "error"
+        assert bad["digest"] == f.spec_digest
+        assert int(bad["attempts"]) == f.attempts
+        assert bad["error"].startswith("InjectedError")
+        assert bad["ipc"] == ""  # no fabricated numbers on failures
+
+    def test_header_matches_columns(self):
+        import csv
+        import io
+        s = self.run_with_failure()
+        reader = csv.reader(io.StringIO(s.to_csv()))
+        assert next(reader) == list(CSV_COLUMNS)
+        assert all(len(r) == len(CSV_COLUMNS) for r in reader)
 
 
 class TestSweepEngine:

@@ -1,6 +1,5 @@
 """Trace recorder."""
 
-import pytest
 
 from repro.config import GPUConfig
 from repro.core.sharing import SharedResource, SharingSpec, plan_sharing

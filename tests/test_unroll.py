@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.core.unroll import (first_shared_use_distance, first_use_mapping,
                                reorder_registers)
-from repro.isa.builder import KernelBuilder
 from repro.isa.instructions import Instr
 from repro.isa.kernel import Kernel, Segment
 from repro.isa.opcodes import Op

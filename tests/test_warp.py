@@ -1,6 +1,5 @@
 """WarpContext trace navigation, scoreboard, work variance."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
