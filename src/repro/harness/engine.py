@@ -55,13 +55,14 @@ from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
 from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.config import GDDRTimings, GPUConfig, LatencyConfig
 from repro.core.sharing import SharedResource
 from repro.harness.faults import FaultInjector
-from repro.harness.resilience import (RetryPolicy, RunFailure,
-                                      RunTimeoutError, categorize)
+from repro.harness.resilience import (RetryPolicy, RunCancelled,
+                                      RunFailure, RunTimeoutError,
+                                      categorize)
 from repro.harness.runner import Mode, run
 from repro.isa.kernel import Kernel
 from repro.obs import NULL_SINK, Observer
@@ -291,14 +292,35 @@ class ResultCache:
     wrong payload shape) is moved to ``<root>/quarantine/`` on read —
     counted in :attr:`quarantined` — so the bad bytes are re-simulated
     once instead of re-parsed forever.
+
+    The quarantine directory is bounded: after each move, entries are
+    pruned oldest-first until at most :attr:`quarantine_max_files`
+    files totalling at most :attr:`quarantine_max_bytes` remain
+    (pruned files are counted in :attr:`pruned` and surface in the
+    engine footer).  Post-mortem evidence is useful; an unbounded
+    graveyard is not.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    #: Default quarantine bounds (overridable per instance).
+    QUARANTINE_MAX_FILES = 32
+    QUARANTINE_MAX_BYTES = 4 << 20
+
+    def __init__(self, root: str | Path | None = None, *,
+                 quarantine_max_files: int | None = None,
+                 quarantine_max_bytes: int | None = None) -> None:
         self.root = Path(root if root is not None
                          else os.environ.get("REPRO_CACHE_DIR")
                          or Path.home() / ".cache" / "repro")
         #: Corrupted entries moved to quarantine by this instance.
         self.quarantined = 0
+        #: Old quarantine files deleted to stay within the bounds.
+        self.pruned = 0
+        self.quarantine_max_files = (
+            quarantine_max_files if quarantine_max_files is not None
+            else self.QUARANTINE_MAX_FILES)
+        self.quarantine_max_bytes = (
+            quarantine_max_bytes if quarantine_max_bytes is not None
+            else self.QUARANTINE_MAX_BYTES)
 
     def path(self, digest: str) -> Path:
         """Entry location for a digest."""
@@ -336,6 +358,37 @@ class ResultCache:
                 target.unlink()
             except OSError:
                 pass
+        self.prune_quarantine()
+
+    def prune_quarantine(self) -> int:
+        """Delete oldest quarantine files until within the bounds.
+
+        Returns the number pruned this call (also accumulated into
+        :attr:`pruned`).  All I/O failures are swallowed — pruning is
+        hygiene, never a reason to fail a run.
+        """
+        try:
+            entries = sorted(
+                (p.stat().st_mtime, p.stat().st_size, p)
+                for p in self.quarantine_dir().iterdir() if p.is_file())
+        except OSError:
+            return 0
+        count = len(entries)
+        total = sum(size for _m, size, _p in entries)
+        removed = 0
+        for _mtime, size, path in entries:      # oldest first
+            if (count <= self.quarantine_max_files
+                    and total <= self.quarantine_max_bytes):
+                break
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+            count -= 1
+            total -= size
+        self.pruned += removed
+        return removed
 
     def put(self, digest: str, spec: RunSpec, result: RunResult,
             elapsed: float) -> None:
@@ -358,6 +411,12 @@ class ResultCache:
             pass  # a read-only cache dir must never fail the run
 
 
+class _CancelToken(Protocol):
+    """Anything with ``is_set()`` — e.g. ``threading.Event``."""
+
+    def is_set(self) -> bool: ...  # pragma: no cover
+
+
 @dataclass
 class EngineStats:
     """Cumulative counters for one :class:`Engine`."""
@@ -373,6 +432,8 @@ class EngineStats:
     retries: int = 0         #: re-attempts scheduled by the retry policy
     timeouts: int = 0        #: runs killed / flagged by the watchdog
     quarantined: int = 0     #: corrupted cache entries moved aside
+    quarantine_pruned: int = 0  #: old quarantine files deleted (cap)
+    cancelled: int = 0       #: runs cancelled before dispatch (token)
 
 
 @dataclass(frozen=True)
@@ -481,7 +542,9 @@ class Engine:
         return self.run_batch([spec])[0]
 
     def run_batch(self, specs: Sequence[RunSpec], *,
-                  progress: Callable[[RunEvent], None] | None = None
+                  progress: Callable[[RunEvent], None] | None = None,
+                  cancel: "_CancelToken | None" = None,
+                  on_complete: Callable[[RunEvent], None] | None = None
                   ) -> list[RunResult | RunFailure]:
         """Execute ``specs``; returns results aligned with the input.
 
@@ -495,6 +558,23 @@ class Engine:
         list as a :class:`RunFailure` — check ``r.ok`` or use
         :func:`repro.harness.resilience.split_results`.  The failures
         are also appended to :attr:`failures`.
+
+        Cooperative cancellation: ``cancel`` is an Event-style token
+        (anything with ``is_set()``, e.g. ``threading.Event``) checked
+        between dispatches.  Once set, no *new* simulation starts;
+        in-flight simulations run to completion and keep their results,
+        and every not-yet-started spec fills its slot with a
+        ``category="cancelled"`` :class:`RunFailure` (counted in
+        ``stats.cancelled``, *not* appended to :attr:`failures` — the
+        caller asked for the drain, so these aren't errors).  This is
+        the drain primitive the simulation service's graceful shutdown
+        is built on: cancelled slots are requeued, completed ones kept.
+
+        ``on_complete`` fires once per unique spec as its slot settles
+        (simulated, cache-served, failed or cancelled) with the same
+        :class:`RunEvent` the ``progress`` callback receives.  The two
+        exist separately so UI progress and durability hooks (the
+        service persists each result the moment it lands) can coexist.
         """
         t_batch = time.perf_counter()
         progress = progress if progress is not None else self.progress
@@ -533,10 +613,13 @@ class Engine:
                  elapsed: float) -> None:
             nonlocal done
             done += 1
-            if progress is not None:
-                progress(RunEvent(index=done, total=total, spec=unique[d],
-                                  result=res, cached=cached,
-                                  elapsed=elapsed))
+            if progress is not None or on_complete is not None:
+                ev = RunEvent(index=done, total=total, spec=unique[d],
+                              result=res, cached=cached, elapsed=elapsed)
+                if progress is not None:
+                    progress(ev)
+                if on_complete is not None:
+                    on_complete(ev)
 
         todo: list[str] = []
         for d, spec in unique.items():
@@ -564,15 +647,32 @@ class Engine:
             self.stats.failures += 1
             emit(d, failure, False, failure.elapsed)
 
+        def cancelled(d: str) -> None:
+            # Not a failure: the caller set the token, so the slot is
+            # filled with a marker record but neither retried nor
+            # appended to self.failures.
+            exc = RunCancelled("cancelled before dispatch "
+                               "(batch cancellation token set)")
+            results[d] = RunFailure.from_exception(
+                unique[d], d, exc, attempts=0)
+            self.stats.cancelled += 1
+            emit(d, results[d], False, 0.0)
+
         try:
             if len(todo) > 1 and self.jobs > 1:
-                self._run_pool(todo, unique, record, fail)
+                self._run_pool(todo, unique, record, fail, cancelled,
+                               cancel)
             else:
-                for d in todo:
+                for i, d in enumerate(todo):
+                    if cancel is not None and cancel.is_set():
+                        for rest in todo[i:]:
+                            cancelled(rest)
+                        break
                     self._run_inprocess(d, unique[d], record, fail)
         finally:
             if self.cache is not None:
                 self.stats.quarantined = self.cache.quarantined
+                self.stats.quarantine_pruned = self.cache.pruned
             self.stats.wall_time += time.perf_counter() - t_batch
         return [results[d] for d in order]
 
@@ -647,7 +747,9 @@ class Engine:
     # ------------------------------------------------------------------
     def _run_pool(self, todo: list[str], unique: dict[str, RunSpec],
                   record: Callable[[str, RunResult, float], None],
-                  fail: Callable[[str, RunFailure], None]) -> None:
+                  fail: Callable[[str, RunFailure], None],
+                  cancelled: Callable[[str], None] | None = None,
+                  cancel: "_CancelToken | None" = None) -> None:
         """Pool scheduler with watchdog, retries and failure isolation.
 
         Inflight submissions are capped at the worker count so the
@@ -716,8 +818,19 @@ class Engine:
 
         try:
             while pending or solo or inflight:
+                # Drain request: stop feeding the pool, let inflight
+                # simulations finish, mark everything queued cancelled.
+                if (cancel is not None and cancel.is_set()
+                        and (pending or solo)):
+                    for d in pending + solo:
+                        cancelled(d)
+                    pending.clear()
+                    solo.clear()
+                    if not inflight:
+                        break
                 # Fill the pool: solo specs only run alone.
-                while len(inflight) < workers:
+                while (len(inflight) < workers
+                       and not (cancel is not None and cancel.is_set())):
                     if solo:
                         if inflight:
                             break  # wait for the pool to drain first

@@ -22,8 +22,13 @@ the deterministic fault-injection harness that proves them.
   every path (in-process, pool, watchdog).
 
 Failure categories: ``deadlock`` | ``limit`` | ``sanitizer`` |
-``crash`` | ``timeout`` | ``error``.  Only ``crash`` (and optionally
-``timeout``) is transient.
+``crash`` | ``timeout`` | ``error`` | ``cancelled``.  Only ``crash``
+(and optionally ``timeout``) is transient.  ``cancelled`` is special:
+the run never started — the engine's cooperative cancellation token
+(see :meth:`Engine.run_batch`) was set before it could be dispatched.
+Cancelled slots are not counted as failures and never retried; callers
+that requested the cancellation (the service's drain logic) requeue
+them.
 """
 
 from __future__ import annotations
@@ -41,10 +46,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.stats import RunResult
 
 __all__ = ["RunFailure", "RetryPolicy", "BatchReport", "RunTimeoutError",
-           "categorize", "CATEGORIES"]
+           "RunCancelled", "categorize", "CATEGORIES"]
 
 #: Every category the engine can emit.
-CATEGORIES = ("deadlock", "limit", "sanitizer", "crash", "timeout", "error")
+CATEGORIES = ("deadlock", "limit", "sanitizer", "crash", "timeout", "error",
+              "cancelled")
 
 #: Lines of remote/local traceback kept in a failure record.
 _TB_TAIL_LINES = 12
@@ -52,6 +58,11 @@ _TB_TAIL_LINES = 12
 
 class RunTimeoutError(RuntimeError):
     """A run exceeded the engine's per-run wall-clock budget."""
+
+
+class RunCancelled(RuntimeError):
+    """A run was cancelled by the batch's cancellation token before it
+    started; its slot holds a ``category="cancelled"`` record."""
 
 
 def categorize(exc: BaseException) -> str:
@@ -64,6 +75,8 @@ def categorize(exc: BaseException) -> str:
         return "sanitizer"
     if isinstance(exc, RunTimeoutError):
         return "timeout"
+    if isinstance(exc, RunCancelled):
+        return "cancelled"
     if isinstance(exc, BrokenExecutor) or _is_injected_crash(exc):
         return "crash"
     return "error"
@@ -95,7 +108,7 @@ class RunFailure:
     distinguish with ``isinstance(r, RunFailure)`` (or :attr:`ok`).
     """
 
-    category: str          #: deadlock | limit | sanitizer | crash | timeout | error
+    category: str          #: one of :data:`CATEGORIES`
     exception_type: str    #: class name of the underlying exception
     message: str           #: str(exception), first source of diagnosis
     spec_digest: str       #: RunSpec.digest() of the failed run

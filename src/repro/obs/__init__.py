@@ -7,7 +7,7 @@ costs anything unless a run asks for ``--metrics`` / ``--trace``.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                               metric_key)
+                               metric_key, prometheus_text)
 from repro.obs.sink import NULL_SINK, Observer, ObsSink
 from repro.obs.tracing import Tracer
 
@@ -17,6 +17,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "metric_key",
+    "prometheus_text",
     "NULL_SINK",
     "Observer",
     "ObsSink",

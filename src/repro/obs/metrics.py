@@ -21,12 +21,15 @@ Design constraints (see docs/observability.md):
 
 Keys follow the Prometheus-style ``name{label=value,...}`` convention
 with labels sorted by name, e.g. ``lock_hold_cycles{kind=reg}``.
+:func:`prometheus_text` renders a registry snapshot in the Prometheus
+text exposition format (the ``/metrics`` payload of the simulation
+service — see docs/service.md and docs/observability.md).
 """
 
 from __future__ import annotations
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "metric_key"]
+           "metric_key", "prometheus_text"]
 
 
 def metric_key(name: str, labels: dict) -> str:
@@ -176,3 +179,88 @@ class MetricsRegistry:
             m = self._metrics[key]
             out[m.kind + "s"][key] = m.to_value()
         return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the current registry state."""
+        return prometheus_text(self.to_dict())
+
+
+# ----------------------------------------------------------------------
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key` for the simple values we emit."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        k, _, v = pair.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def _prom_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    def esc(v: str) -> str:
+        return v.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n")
+    inner = ",".join(f'{k}="{esc(str(v))}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _prom_num(v) -> str:
+    if v is None:
+        return "NaN"
+    if isinstance(v, bool):
+        return str(int(v))
+    if isinstance(v, int):
+        return str(v)
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.to_dict` snapshot as Prometheus
+    text exposition format (version 0.0.4).
+
+    Counters and gauges map directly.  A :class:`Histogram` becomes a
+    native Prometheus histogram: the power-of-two bucket *i* (values in
+    ``[2**(i-1), 2**i)``, bucket 0 = exactly 0) is exported as the
+    cumulative ``le="2**i - 1"`` bucket, closed with ``le="+Inf"``,
+    plus the usual ``_sum``/``_count`` series.  ``min``/``max`` have no
+    Prometheus histogram equivalent and are not exported.  Output is
+    deterministic (sorted series) so scrapes diff cleanly in tests.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_key(key)
+        header(name, "counter")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_num(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_key(key)
+        header(name, "gauge")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_num(value)}")
+    for key, h in snapshot.get("histograms", {}).items():
+        name, labels = _split_key(key)
+        header(name, "histogram")
+        cumulative = 0
+        for idx in sorted(int(i) for i in h.get("buckets", {})):
+            cumulative += h["buckets"][str(idx)]
+            le = "0" if idx == 0 else str((1 << idx) - 1)
+            lines.append(f"{name}_bucket"
+                         f"{_prom_labels({**labels, 'le': le})} "
+                         f"{cumulative}")
+        lines.append(f"{name}_bucket"
+                     f"{_prom_labels({**labels, 'le': '+Inf'})} "
+                     f"{h['count']}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_prom_num(h['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

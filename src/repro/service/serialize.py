@@ -1,0 +1,74 @@
+"""Wire payloads for simulation results.
+
+One serializer feeds three consumers — ``repro run --json``, the
+service's ``/jobs/<id>/result`` endpoint, and the client library — so
+a result observed through the service is byte-comparable to one
+printed locally.  The ``result`` field is the exact
+:meth:`RunResult.to_dict` payload (:func:`parse_result` restores it
+losslessly); ``summary`` duplicates the headline numbers for humans
+and shell pipelines that don't want to recompute them.
+"""
+
+from __future__ import annotations
+
+from repro.harness.resilience import RunFailure
+from repro.sim.stats import RunResult
+
+__all__ = ["PAYLOAD_SCHEMA", "result_payload", "failure_payload",
+           "parse_result"]
+
+#: Bump when the payload layout changes.
+PAYLOAD_SCHEMA = 1
+
+
+def result_payload(result: RunResult, *, digest: str | None = None,
+                   cached: bool = False, elapsed: float | None = None,
+                   spec: dict | None = None) -> dict:
+    """JSON-serializable envelope for a successful run.
+
+    ``digest`` is the :meth:`RunSpec.digest` content address (the
+    service's digest-equality guarantee hangs off this field);
+    ``cached`` records whether the result came from the engine's disk
+    cache; ``spec`` optionally embeds the submitted spec for
+    self-contained artifacts.
+    """
+    payload: dict = {
+        "schema": PAYLOAD_SCHEMA,
+        "ok": True,
+        "digest": digest,
+        "cached": cached,
+        "result": result.to_dict(),
+        "summary": result.summary(),
+    }
+    if elapsed is not None:
+        payload["elapsed"] = round(elapsed, 6)
+    if spec is not None:
+        payload["spec"] = spec
+    return payload
+
+
+def failure_payload(failure: RunFailure) -> dict:
+    """JSON-serializable envelope for a failed run."""
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "ok": False,
+        "digest": failure.spec_digest,
+        "failure": failure.to_dict(),
+    }
+
+
+def parse_result(payload: dict) -> RunResult | RunFailure:
+    """Inverse of the two builders: envelope → result object.
+
+    Raises ``ValueError`` on a schema we don't understand, so callers
+    fail loudly instead of mis-parsing a future layout.
+    """
+    schema = payload.get("schema")
+    if schema != PAYLOAD_SCHEMA:
+        raise ValueError(f"unsupported result payload schema {schema!r} "
+                         f"(expected {PAYLOAD_SCHEMA})")
+    if payload.get("ok"):
+        return RunResult.from_dict(payload["result"])
+    if payload.get("cancelled"):
+        raise ValueError("job was cancelled before it ran")
+    return RunFailure.from_dict(payload["failure"])

@@ -140,3 +140,87 @@ class TestTraceCli:
                            "--first", "5"]) == 0
         assert seen.get("early_release") is True
         assert "IPC" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    ARGV = ["run", "gaussian", "--clusters", "1", "--scale", "0.2",
+            "--waves", "1", "--json"]
+
+    def test_run_json_round_trip(self, tmp_path, capsys):
+        import json
+        from repro.harness.engine import RunSpec
+        from repro.service import parse_result
+        from repro.sim.stats import RunResult
+        argv = self.ARGV + ["--cache-dir", str(tmp_path)]
+        assert repro_main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["cached"] is False
+        result = parse_result(payload)
+        assert isinstance(result, RunResult)
+        assert result.cycles == payload["summary"]["cycles"]
+        # The embedded spec reproduces the digest: the payload is a
+        # self-contained, re-runnable artifact.
+        assert RunSpec.from_dict(payload["spec"]).digest() \
+            == payload["digest"]
+
+    def test_run_json_cached_flag(self, tmp_path, capsys):
+        import json
+        from repro.service import parse_result
+        argv = self.ARGV + ["--cache-dir", str(tmp_path)]
+        repro_main(argv)
+        first = json.loads(capsys.readouterr().out)
+        repro_main(argv)
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] is True
+        assert parse_result(second) == parse_result(first)
+
+
+class TestServiceCli:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.service import ServiceConfig, ServiceServer
+        srv = ServiceServer(
+            ServiceConfig(port=0, db_path=tmp_path / "jobs.sqlite",
+                          batch_wait=0.01, poll_interval=0.02),
+            engine_opts={"jobs": 1, "cache": False})
+        srv.start_in_thread()
+        yield srv
+        srv.stop()
+
+    def _submit_argv(self, server, *extra):
+        return ["submit", "gaussian", "--clusters", "1", "--scale",
+                "0.2", "--waves", "1", "--port", str(server.port),
+                *extra]
+
+    def test_submit_wait_json(self, server, capsys):
+        import json
+        from repro.service import parse_result
+        argv = self._submit_argv(server, "--wait", "--json")
+        assert repro_main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        parse_result(payload)
+
+    def test_submit_then_jobs_listing(self, server, capsys):
+        import json
+        assert repro_main(self._submit_argv(server, "--json")) == 0
+        job_id = json.loads(capsys.readouterr().out)["job"]["id"]
+        assert repro_main(["jobs", job_id, "--port", str(server.port),
+                           "--wait", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+        assert repro_main(["jobs", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "done" in out
+
+    def test_jobs_cancel(self, server, capsys):
+        import json
+        server.paused = True
+        assert repro_main(self._submit_argv(server, "--json")) == 0
+        job_id = json.loads(capsys.readouterr().out)["job"]["id"]
+        assert repro_main(["jobs", job_id, "--port", str(server.port),
+                           "--cancel"]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert repro_main(["jobs", job_id, "--port", str(server.port),
+                           "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["job"]["state"] \
+            == "cancelled"

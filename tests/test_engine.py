@@ -225,3 +225,131 @@ class TestExperimentIntegration:
         seq = self._fig8c(Engine(jobs=1, cache=False))
         par = self._fig8c(Engine(jobs=2, cache=False))
         assert par.rows == seq.rows
+
+
+class TestCancellation:
+    def _specs(self, n):
+        return [spec(max_cycles=10_000_000 + i) for i in range(n)]
+
+    def test_preset_token_cancels_everything(self):
+        import threading
+        eng = Engine(jobs=1, cache=False)
+        cancel = threading.Event()
+        cancel.set()
+        results = eng.run_batch(self._specs(3), cancel=cancel)
+        assert all(r.category == "cancelled" for r in results)
+        assert all(r.attempts == 0 for r in results)
+        assert eng.stats.cancelled == 3 and eng.stats.sims == 0
+
+    def test_cancel_mid_batch_keeps_finished_work(self):
+        import threading
+        eng = Engine(jobs=1, cache=False)
+        cancel = threading.Event()
+        results = eng.run_batch(self._specs(3), cancel=cancel,
+                                progress=lambda ev: cancel.set())
+        from repro.sim.stats import RunResult
+        assert isinstance(results[0], RunResult)
+        assert [r.category for r in results[1:]] == ["cancelled"] * 2
+        assert eng.stats.sims == 1 and eng.stats.cancelled == 2
+
+    def test_preset_token_cancels_pool_batch(self):
+        import threading
+        eng = Engine(jobs=2, cache=False)
+        cancel = threading.Event()
+        cancel.set()
+        results = eng.run_batch(self._specs(4), cancel=cancel)
+        assert all(r.category == "cancelled" for r in results)
+        assert eng.stats.cancelled == 4 and eng.stats.sims == 0
+
+    def test_cancelled_runs_not_failures_not_cached(self, tmp_path):
+        import threading
+        cancel = threading.Event()
+        cancel.set()
+        eng = Engine(jobs=1, cache_dir=tmp_path)
+        s = spec()
+        eng.run_batch([s], cancel=cancel)
+        assert eng.failures == [] and eng.stats.failures == 0
+        fresh = Engine(jobs=1, cache_dir=tmp_path)
+        fresh.run_one(s)
+        assert fresh.stats.sims == 1  # nothing was cached for it
+
+
+class TestOnComplete:
+    def test_fires_for_sim_hit_and_cancelled(self, tmp_path):
+        import threading
+        events = []
+        eng = Engine(jobs=1, cache_dir=tmp_path)
+        eng.run_batch([spec()], on_complete=events.append)
+        assert len(events) == 1 and not events[0].cached
+        eng.run_batch([spec()], on_complete=events.append)
+        assert len(events) == 2 and events[1].cached
+        cancel = threading.Event()
+        cancel.set()
+        eng.run_batch([spec(app="hotspot")], cancel=cancel,
+                      on_complete=events.append)
+        assert events[2].result.category == "cancelled"
+
+    def test_fires_once_per_unique_digest(self):
+        events = []
+        eng = Engine(jobs=1, cache=False)
+        s = spec()
+        eng.run_batch([s, s, s], on_complete=events.append)
+        assert len(events) == 1
+        assert eng.stats.deduped == 2
+
+    def test_coexists_with_progress(self):
+        seen = {"progress": [], "complete": []}
+        eng = Engine(jobs=1, cache=False)
+        eng.run_batch([spec()],
+                      progress=seen["progress"].append,
+                      on_complete=seen["complete"].append)
+        assert seen["progress"] == seen["complete"]
+        assert len(seen["progress"]) == 1
+
+    def test_fires_for_failures(self):
+        from repro.harness.faults import FaultInjector
+        s = spec()
+        inj = FaultInjector().add(s.digest(), "error")
+        events = []
+        eng = Engine(jobs=1, cache=False, faults=inj)
+        eng.run_batch([s], on_complete=events.append)
+        assert events[0].result.category == "error"
+
+
+class TestQuarantinePrune:
+    def _corrupt(self, cache, s):
+        d = s.digest()
+        cache.path(d).parent.mkdir(parents=True, exist_ok=True)
+        cache.path(d).write_text("{definitely not json")
+        return d
+
+    def test_prunes_oldest_beyond_file_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, quarantine_max_files=2)
+        digests = [self._corrupt(cache, spec(max_cycles=1000 + i))
+                   for i in range(5)]
+        for i, d in enumerate(digests):
+            os.utime(cache.path(d), (i, i))  # deterministic age order
+            assert cache.get(d) is None
+        assert cache.quarantined == 5
+        assert cache.pruned == 3
+        left = sorted(p.name for p in cache.quarantine_dir().iterdir())
+        assert left == sorted(f"{d}.json" for d in digests[-2:])
+
+    def test_prunes_beyond_byte_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, quarantine_max_bytes=30)
+        for i in range(3):
+            d = self._corrupt(cache, spec(max_cycles=2000 + i))
+            cache.get(d)
+        files = list(cache.quarantine_dir().iterdir())
+        assert sum(p.stat().st_size for p in files) <= 30
+        assert cache.pruned >= 1
+
+    def test_engine_surfaces_pruned_count(self, tmp_path):
+        cache = ResultCache(tmp_path, quarantine_max_files=0)
+        s = spec()
+        self._corrupt(cache, s)
+        eng = Engine(jobs=1, cache=cache)
+        eng.run_one(s)
+        assert eng.stats.quarantined == 1
+        assert eng.stats.quarantine_pruned == 1
+        assert not list(cache.quarantine_dir().iterdir())

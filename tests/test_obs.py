@@ -412,3 +412,83 @@ class TestEnginePlumbing:
         r1 = Engine(jobs=1, cache=False).run_one(s)
         r2 = Engine(jobs=2, cache=False).run_batch([s])[0]
         assert r1.to_dict() == r2.to_dict()
+
+
+class TestPrometheusText:
+    def test_empty_snapshot_renders_empty(self):
+        from repro.obs import prometheus_text
+        assert prometheus_text({}) == ""
+        assert prometheus_text(MetricsRegistry().to_dict()) == ""
+
+    def test_counters_and_gauges(self):
+        from repro.obs import prometheus_text
+        reg = MetricsRegistry()
+        reg.counter("runs_total", app="bfs").inc(3)
+        reg.counter("runs_total", app="lud").inc()
+        reg.gauge("queue_depth").set(7)
+        text = prometheus_text(reg.to_dict())
+        assert "# TYPE runs_total counter" in text
+        assert text.count("# TYPE runs_total counter") == 1
+        assert 'runs_total{app="bfs"} 3' in text
+        assert 'runs_total{app="lud"} 1' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        from repro.obs import prometheus_text
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_ms")
+        for v in (0, 1, 1, 3, 200):
+            h.record(v)
+        lines = prometheus_text(reg.to_dict()).splitlines()
+        buckets = [ln for ln in lines if ln.startswith("latency_ms_bucket")]
+        # Power-of-two bucket i -> cumulative le="2**i - 1".
+        assert 'latency_ms_bucket{le="0"} 1' in buckets
+        assert 'latency_ms_bucket{le="1"} 3' in buckets
+        assert 'latency_ms_bucket{le="3"} 4' in buckets
+        assert 'latency_ms_bucket{le="255"} 5' in buckets
+        assert buckets[-1] == 'latency_ms_bucket{le="+Inf"} 5'
+        # Cumulative counts never decrease.
+        counts = [int(b.rsplit(" ", 1)[1]) for b in buckets]
+        assert counts == sorted(counts)
+        assert "latency_ms_sum 205" in lines
+        assert "latency_ms_count 5" in lines
+
+    def test_histogram_with_labels_keeps_le_last_sorted(self):
+        from repro.obs import prometheus_text
+        reg = MetricsRegistry()
+        reg.histogram("wait_ms", mode="shared").record(2)
+        text = prometheus_text(reg.to_dict())
+        assert 'wait_ms_bucket{le="3",mode="shared"} 1' in text
+        assert 'wait_ms_sum{mode="shared"} 2' in text
+
+    def test_label_value_escaping(self):
+        from repro.obs import prometheus_text
+        reg = MetricsRegistry()
+        reg.counter("odd_total", why='say "hi"\\now').inc()
+        text = prometheus_text(reg.to_dict())
+        assert 'odd_total{why="say \\"hi\\"\\\\now"} 1' in text
+
+    def test_float_formatting(self):
+        from repro.obs import prometheus_text
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(0.25)
+        reg.gauge("whole").set(3.0)
+        text = prometheus_text(reg.to_dict())
+        assert "ratio 0.25" in text
+        assert "whole 3" in text
+
+    def test_registry_convenience_method(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        from repro.obs import prometheus_text
+        assert reg.to_prometheus() == prometheus_text(reg.to_dict())
+
+    def test_snapshot_round_trips_through_json(self):
+        from repro.obs import prometheus_text
+        reg = MetricsRegistry()
+        reg.histogram("h", k="v").record(5)
+        reg.counter("c").inc(2)
+        snap = json.loads(json.dumps(reg.to_dict()))
+        assert prometheus_text(snap) == prometheus_text(reg.to_dict())

@@ -10,7 +10,8 @@ from repro.harness.engine import (CACHE_SCHEMA, Engine, ResultCache, RunSpec,
 from repro.harness.faults import (FaultInjector, InjectedCrash, InjectedError,
                                   corrupt_cache_entry)
 from repro.harness.resilience import (CATEGORIES, BatchReport, RetryPolicy,
-                                      RunFailure, RunTimeoutError, categorize,
+                                      RunCancelled, RunFailure,
+                                      RunTimeoutError, categorize,
                                       split_results)
 from repro.harness.runner import unshared
 from repro.sim.gpu import SimulationDeadlock, SimulationLimitExceeded
@@ -34,12 +35,14 @@ class TestCategorize:
         assert categorize(RunTimeoutError("x")) == "timeout"
         assert categorize(InjectedCrash("x")) == "crash"
         assert categorize(InjectedError("x")) == "error"
+        assert categorize(RunCancelled("x")) == "cancelled"
         assert categorize(ValueError("x")) == "error"
 
     def test_every_category_reachable(self):
         excs = [SimulationDeadlock("x"), SimulationLimitExceeded("x"),
                 SanitizerViolation("x"), RunTimeoutError("x"),
-                InjectedCrash("x"), ValueError("x")]
+                InjectedCrash("x"), ValueError("x"),
+                RunCancelled("x")]
         assert {categorize(e) for e in excs} == set(CATEGORIES)
 
 
